@@ -1,0 +1,26 @@
+"""Ablations — reverting each §III design decision of DCART.
+
+Not a paper figure; DESIGN.md calls these out as the design choices the
+architecture sections argue for: prefix combining (§III-B), shortcuts
+(§III-C), PCU/SOU overlap (§III-D), and value-aware buffering (§III-E).
+"""
+
+from repro.harness import experiments as ex
+
+
+def test_ablation_design_choices(benchmark, publish):
+    result = benchmark.pedantic(ex.ablation, rounds=1, iterations=1)
+    publish("ablation", result.render())
+    rows = {row[0]: row for row in result.rows}
+    base = rows["DCART"]
+
+    # SIII-C: without shortcuts, traversal work explodes.
+    assert rows["no-shortcuts"][3] > 3 * base[3]
+
+    # SIII-B: without combining, same-node ops hit different SOUs and
+    # must synchronise; contention and time both grow.
+    assert rows["no-combining"][4] > 2 * base[4]
+    assert rows["no-combining"][1] > 1.5 * base[1]
+
+    # SIII-D: without overlap, combining is exposed on the critical path.
+    assert rows["no-overlap"][1] > base[1]

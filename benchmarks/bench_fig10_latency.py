@@ -1,0 +1,18 @@
+"""Fig. 10 — throughput vs. P99 latency on the real-world workloads."""
+
+from repro.harness import experiments as ex
+
+
+def test_fig10_throughput_latency(benchmark, publish):
+    result = benchmark.pedantic(
+        ex.fig10_throughput_latency, rounds=1, iterations=1
+    )
+    publish("fig10_throughput_latency", result.render())
+    by_key = {}
+    for workload, n_ops, engine, mops, p99 in result.rows:
+        by_key.setdefault((workload, engine), []).append((mops, p99))
+    for workload in ("IPGEO", "DICT", "EA"):
+        dcart_best_mops = max(m for m, _ in by_key[(workload, "DCART")])
+        for baseline in ("ART", "Heart", "SMART", "CuART"):
+            base_best = max(m for m, _ in by_key[(workload, baseline)])
+            assert dcart_best_mops > base_best  # higher throughput ceiling

@@ -1,0 +1,24 @@
+"""Fig. 12 — sensitivity to operation count and write ratio (IPGEO)."""
+
+from repro.harness import experiments as ex
+
+
+def test_fig12a_operation_count(benchmark, publish):
+    result = benchmark.pedantic(ex.fig12a_op_sensitivity, rounds=1, iterations=1)
+    publish("fig12a_op_sensitivity", result.render())
+    # Paper: DCART achieves better (relative) performance as the number
+    # of concurrent operations increases.
+    speedups = [row[-1] for row in result.rows]
+    assert speedups[-1] > speedups[0]
+
+
+def test_fig12b_write_ratio_mixes(benchmark, publish):
+    result = benchmark.pedantic(ex.fig12b_mix_sensitivity, rounds=1, iterations=1)
+    publish("fig12b_mix_sensitivity", result.render())
+    # Paper: better improvement as the write ratio increases (A -> E).
+    speedups = [row[-1] for row in result.rows]
+    assert speedups[-1] > speedups[0]
+    # And the write-heavy mixes cost the baselines dearly: SMART's time
+    # must grow from mix A to mix E.
+    smart_ms = [row[4] for row in result.rows]
+    assert smart_ms[-1] > smart_ms[0]

@@ -1,0 +1,47 @@
+"""Fig. 2 — the motivation study (paper §II-B).
+
+Five panels: execution-time breakdown, redundant traversed nodes,
+cacheline utilisation, sync share vs. op count, throughput vs. write
+ratio — all for the operation-centric CPU baselines ART/Heart/SMART.
+"""
+
+from repro.harness import experiments as ex
+
+
+def test_fig2a_breakdown(benchmark, publish):
+    result = benchmark.pedantic(ex.fig2a_breakdown, rounds=1, iterations=1)
+    publish("fig2a_breakdown", result.render())
+    # Paper: traversal + sync consume >95.82 % of SMART's time.
+    smart_rows = [row for row in result.rows if row[1] == "SMART"]
+    assert all(row[-1] > 90.0 for row in smart_rows)
+
+
+def test_fig2b_redundant_nodes(benchmark, publish):
+    result = benchmark.pedantic(ex.fig2b_redundancy, rounds=1, iterations=1)
+    publish("fig2b_redundancy", result.render())
+    # Paper: 77.8-86.1 % redundant.
+    for row in result.rows:
+        assert all(share > 60.0 for share in row[1:])
+
+
+def test_fig2c_cacheline_utilisation(benchmark, publish):
+    result = benchmark.pedantic(ex.fig2c_utilisation, rounds=1, iterations=1)
+    publish("fig2c_utilisation", result.render())
+    # Paper: ~20.2 % average.
+    values = [share for row in result.rows for share in row[1:]]
+    assert 8.0 < sum(values) / len(values) < 40.0
+
+
+def test_fig2d_sync_share_growth(benchmark, publish):
+    result = benchmark.pedantic(ex.fig2d_sync_vs_ops, rounds=1, iterations=1)
+    publish("fig2d_sync_vs_ops", result.render())
+    art = [row[1] for row in result.rows]
+    assert art[-1] > art[0]  # paper: 24.1 % -> 71.3 %
+
+
+def test_fig2e_write_ratio_collapse(benchmark, publish):
+    result = benchmark.pedantic(ex.fig2e_write_ratio, rounds=1, iterations=1)
+    publish("fig2e_write_ratio", result.render())
+    for column in range(1, 4):
+        series = [row[column] for row in result.rows]
+        assert series[-1] < series[0]  # throughput collapses with writes

@@ -1,0 +1,17 @@
+"""Fig. 3 — operation distribution of the real-world workloads."""
+
+from repro.harness import experiments as ex
+
+
+def test_fig3_operation_distribution(benchmark, publish):
+    result = benchmark.pedantic(ex.fig3_distribution, rounds=1, iterations=1)
+    publish("fig3_distribution", result.render())
+    by_name = {row[0]: row for row in result.rows}
+    # Observation 1 (temporal): the IPGEO peak sits at the paper's 0x67
+    # and towers over the mean prefix.
+    assert by_name["IPGEO"][1] == "0x67"
+    assert by_name["IPGEO"][3] > 10
+    # Observation 2 (spatial): a few percent of nodes take most
+    # traversals (paper: >96.65 % on 5 % of nodes).
+    for row in result.rows:
+        assert row[5] > 60.0

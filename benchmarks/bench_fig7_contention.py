@@ -1,0 +1,11 @@
+"""Fig. 7 — lock contentions across all six engines."""
+
+from repro.harness import experiments as ex
+
+
+def test_fig7_lock_contentions(benchmark, publish):
+    result = benchmark.pedantic(ex.fig7_contentions, rounds=1, iterations=1)
+    publish("fig7_contentions", result.render())
+    for row in result.rows:
+        # Paper: DCART(-C) at 3.2-19.7 % of the other solutions.
+        assert 0 < row[-1] <= 20.0, f"{row[0]}: DCART ratio {row[-1]:.1f}%"

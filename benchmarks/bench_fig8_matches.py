@@ -1,0 +1,15 @@
+"""Fig. 8 — partial-key matches across all six engines."""
+
+from repro.harness import experiments as ex
+
+
+def test_fig8_partial_key_matches(benchmark, publish):
+    result = benchmark.pedantic(ex.fig8_matches, rounds=1, iterations=1)
+    publish("fig8_matches", result.render())
+    for row in result.rows:
+        pct_art, pct_smart, pct_cuart = row[-3:]
+        # Paper bands: 3.2-5.7 / 6.5-14.3 / 8.8-15.9 (%); we assert the
+        # x2 loose windows of DESIGN.md SS4.
+        assert pct_art < 11.4, f"{row[0]}: DCART at {pct_art:.1f}% of ART"
+        assert pct_smart < 28.6, f"{row[0]}: DCART at {pct_smart:.1f}% of SMART"
+        assert pct_cuart < 31.8, f"{row[0]}: DCART at {pct_cuart:.1f}% of CuART"

@@ -1,0 +1,26 @@
+"""Fig. 9 — the headline execution-time comparison."""
+
+from repro.harness import experiments as ex
+from repro.harness.comparison import speedups
+from repro.workloads import WORKLOAD_NAMES
+
+
+def test_fig9_execution_time(benchmark, publish):
+    result = benchmark.pedantic(ex.fig9_performance, rounds=1, iterations=1)
+    publish("fig9_performance", result.render())
+    for workload in WORKLOAD_NAMES:
+        per = result.raw[workload]
+        ratios = speedups(per)
+        # Ordering must hold on every workload.
+        assert (
+            per["DCART"].elapsed_seconds
+            < per["CuART"].elapsed_seconds
+            < per["SMART"].elapsed_seconds
+            < per["Heart"].elapsed_seconds
+            < per["ART"].elapsed_seconds
+        )
+        # Rough factors (paper: ART 123.8-151.7x, SMART 35.9-44.2x,
+        # CuART 21.1-31.2x); generous windows, tight bands in the notes.
+        assert ratios["ART"] > 30
+        assert ratios["SMART"] > 8
+        assert ratios["CuART"] > 5

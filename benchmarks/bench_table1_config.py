@@ -1,0 +1,19 @@
+"""Table I — the DCART configuration (and its scaled instance)."""
+
+from repro.harness import experiments as ex
+
+
+def test_table1_parameters(benchmark, publish):
+    result = benchmark.pedantic(ex.table1_config, rounds=1, iterations=1)
+    publish("table1_config", result.render())
+    rendered = result.render()
+    assert "16 x SOUs" in rendered
+    assert "512 KB" in rendered
+    assert "230 MHz" in rendered
+
+
+def test_table1_scaled_instance(benchmark, publish):
+    result = benchmark.pedantic(
+        ex.table1_config, kwargs={"n_keys": ex.DEFAULT_KEYS}, rounds=1, iterations=1
+    )
+    publish("table1_config_scaled", result.render())

@@ -1,0 +1,42 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one paper figure/table and registers the
+rendered text via the ``publish`` fixture; everything registered is
+printed in the terminal summary (so ``pytest benchmarks/
+--benchmark-only`` emits the figures even with output capture on) and
+written to ``benchmarks/results/<name>.txt``.
+"""
+
+import os
+
+import pytest
+
+_TABLES = []
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def publish():
+    """Register a rendered experiment for the summary and results dir."""
+
+    def _publish(name: str, text: str) -> None:
+        _TABLES.append((name, text))
+        os.makedirs(_RESULTS_DIR, exist_ok=True)
+        path = os.path.join(_RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+
+    return _publish
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TABLES:
+        return
+    terminalreporter.write_sep("=", "reproduced figures and tables")
+    for name, text in _TABLES:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)
+    terminalreporter.write_line("")
+    terminalreporter.write_line(
+        f"(also written to {_RESULTS_DIR}/<figure>.txt)"
+    )

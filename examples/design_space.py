@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""DCART design-space exploration.
+
+    python examples/design_space.py
+
+Sweeps the accelerator's architectural knobs — SOU count, Tree_buffer
+capacity, batch size — and the ablation switches, on one workload, and
+prints a table per sweep.  This is the kind of study an RTL team would
+run before committing the Table I configuration.
+"""
+
+from repro import DCARTConfig, DcartAccelerator, make_workload
+from repro.harness.formatting import format_table
+
+N_KEYS = 8_000
+N_OPS = 60_000
+TREE_BUFFER = 64 * 1024  # scaled to the workload like the harness does
+SHORTCUT_BUFFER = 8 * 1024
+
+
+def run(config: DCARTConfig, workload):
+    return DcartAccelerator(config=config).run(workload)
+
+
+def sweep_sous(workload) -> str:
+    rows = []
+    for n_sous in (1, 2, 4, 8, 16):
+        config = DCARTConfig(
+            n_sous=n_sous,
+            n_buckets=16,
+            batch_size=8192,
+            tree_buffer_bytes=TREE_BUFFER,
+            shortcut_buffer_bytes=SHORTCUT_BUFFER,
+        )
+        result = run(config, workload)
+        rows.append(
+            [n_sous, result.elapsed_seconds * 1e3, result.throughput_mops]
+        )
+    return format_table(
+        ["n_sous", "ms", "Mops/s"], rows, title="SOU count sweep (16 buckets)"
+    )
+
+
+def sweep_tree_buffer(workload) -> str:
+    rows = []
+    for kib in (4, 16, 64, 256, 1024):
+        config = DCARTConfig(
+            batch_size=8192,
+            tree_buffer_bytes=kib * 1024,
+            shortcut_buffer_bytes=SHORTCUT_BUFFER,
+        )
+        result = run(config, workload)
+        rows.append(
+            [
+                kib,
+                result.elapsed_seconds * 1e3,
+                result.extra["tree_buffer_hit_rate"],
+                result.extra["offchip_lines"],
+            ]
+        )
+    return format_table(
+        ["tree_buffer_KiB", "ms", "hit_rate", "offchip_lines"],
+        rows,
+        title="Tree_buffer capacity sweep",
+    )
+
+
+def sweep_batch_size(workload) -> str:
+    rows = []
+    for batch in (1024, 4096, 16384, 65536):
+        config = DCARTConfig(
+            batch_size=batch,
+            tree_buffer_bytes=TREE_BUFFER,
+            shortcut_buffer_bytes=SHORTCUT_BUFFER,
+        )
+        result = run(config, workload)
+        rows.append(
+            [
+                batch,
+                result.elapsed_seconds * 1e3,
+                result.extra["overlap_efficiency"],
+                result.p99_latency_us,
+            ]
+        )
+    return format_table(
+        ["batch_size", "ms", "overlap_eff", "p99_us"],
+        rows,
+        title="Batch size sweep (PCU/SOU overlap vs latency)",
+    )
+
+
+def ablations(workload) -> str:
+    variants = {
+        "full DCART": {},
+        "no shortcuts": {"enable_shortcuts": False},
+        "no combining": {"enable_combining": False},
+        "no overlap": {"enable_overlap": False},
+        "LRU tree buffer": {"value_aware_tree_buffer": False},
+    }
+    rows = []
+    for label, overrides in variants.items():
+        config = DCARTConfig(
+            batch_size=8192,
+            tree_buffer_bytes=TREE_BUFFER,
+            shortcut_buffer_bytes=SHORTCUT_BUFFER,
+            **overrides,
+        )
+        result = run(config, workload)
+        rows.append(
+            [
+                label,
+                result.elapsed_seconds * 1e3,
+                result.partial_key_matches,
+                result.lock_contentions,
+            ]
+        )
+    return format_table(
+        ["variant", "ms", "matches", "contentions"],
+        rows,
+        title="Ablations (paper SIII design choices)",
+    )
+
+
+def main() -> None:
+    workload = make_workload("IPGEO", n_keys=N_KEYS, n_ops=N_OPS, seed=11)
+    print(workload.summary(), "\n")
+    for table in (
+        sweep_sous(workload),
+        sweep_tree_buffer(workload),
+        sweep_batch_size(workload),
+        ablations(workload),
+    ):
+        print(table)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""ASCII bar charts for terminal review of the reproduced figures.
+
+The paper's Figs. 7–12 are grouped bar charts; without a plotting
+dependency, a log-scaled horizontal bar chart in text is the honest way
+to *see* a 130× spread in a terminal or a CI log:
+
+    ART      104.34 ms  |########################################
+    SMART     27.66 ms  |############################
+    DCART      1.31 ms  |#
+
+``bar_chart`` renders one series; ``speedup_chart`` renders a results
+matrix the way Fig. 9 is read (time per engine, one block per workload).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+DEFAULT_WIDTH = 48
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    width: int = DEFAULT_WIDTH,
+    log_scale: bool = False,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Horizontal bars, one line per (label, value)."""
+    if not items:
+        raise SimulationError("cannot chart an empty series")
+    if width <= 0:
+        raise SimulationError(f"width must be positive: {width}")
+    values = [value for _, value in items]
+    if any(v < 0 for v in values):
+        raise SimulationError("bar_chart values must be >= 0")
+
+    if log_scale:
+        floor = min((v for v in values if v > 0), default=1.0)
+        def scale(v: float) -> float:
+            if v <= 0:
+                return 0.0
+            return math.log10(v / floor) + 1.0
+    else:
+        def scale(v: float) -> float:
+            return v
+
+    top = max(scale(v) for v in values) or 1.0
+    label_width = max(len(label) for label, _ in items)
+    value_width = max(len(f"{v:,.2f}") for v in values)
+
+    lines = [title] if title else []
+    for label, value in items:
+        bar = "#" * max(1 if value > 0 else 0, round(width * scale(value) / top))
+        lines.append(
+            f"{label:<{label_width}}  {value:>{value_width},.2f} {unit:<4s} |{bar}"
+        )
+    return "\n".join(lines)
+
+
+def speedup_chart(
+    matrix: Dict[str, Dict[str, "object"]],
+    metric: str = "elapsed_seconds",
+    scale: float = 1e3,
+    unit: str = "ms",
+    engine_order: Optional[Sequence[str]] = None,
+    width: int = DEFAULT_WIDTH,
+) -> str:
+    """One log-scale block per workload, engines as bars (Fig. 9 style)."""
+    if not matrix:
+        raise SimulationError("cannot chart an empty matrix")
+    blocks: List[str] = []
+    for workload, per_engine in matrix.items():
+        names = list(engine_order) if engine_order else sorted(per_engine)
+        items = [
+            (name, getattr(per_engine[name], metric) * scale)
+            for name in names
+            if name in per_engine
+        ]
+        blocks.append(
+            bar_chart(
+                items,
+                width=width,
+                log_scale=True,
+                unit=unit,
+                title=f"{workload} ({metric})",
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,69 @@
+"""CSV export of experiment results.
+
+Every :class:`~repro.harness.experiments.ExperimentResult` is a headers+
+rows table; this module writes it as RFC-4180 CSV so the figures can be
+re-plotted with any external tool (the repository itself stays free of
+plotting dependencies).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import IO, Union
+
+from repro.errors import SimulationError
+
+
+def experiment_to_csv(result, destination: Union[str, IO, None] = None) -> str:
+    """Write an ExperimentResult as CSV; returns the CSV text.
+
+    ``destination`` may be a path, a writable file object, or ``None``
+    (string only).  A ``# experiment:`` comment line carries the title.
+    """
+    if not result.headers:
+        raise SimulationError("experiment has no headers to export")
+    buffer = io.StringIO()
+    buffer.write(f"# experiment: {result.experiment}\n")
+    if result.notes:
+        buffer.write(f"# notes: {result.notes}\n")
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(result.headers)
+    for row in result.rows:
+        if len(row) != len(result.headers):
+            raise SimulationError(
+                f"row width {len(row)} != header width {len(result.headers)}"
+            )
+        writer.writerow(row)
+    text = buffer.getvalue()
+
+    if isinstance(destination, str):
+        with open(destination, "w") as handle:
+            handle.write(text)
+    elif destination is not None:
+        destination.write(text)
+    return text
+
+
+def csv_to_rows(text: str):
+    """Parse CSV produced by :func:`experiment_to_csv` back into
+    ``(headers, rows)`` with numeric cells restored."""
+    lines = [line for line in text.splitlines() if not line.startswith("#")]
+    reader = csv.reader(lines)
+    try:
+        headers = next(reader)
+    except StopIteration:
+        raise SimulationError("empty CSV")
+    rows = []
+    for raw in reader:
+        row = []
+        for cell in raw:
+            try:
+                row.append(int(cell))
+            except ValueError:
+                try:
+                    row.append(float(cell))
+                except ValueError:
+                    row.append(cell)
+        rows.append(row)
+    return headers, rows

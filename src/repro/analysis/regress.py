@@ -1,0 +1,92 @@
+"""Result-drift detection between two experiment runs.
+
+Cost-model recalibration is how this reproduction is tuned, and its
+danger is silent regression: a constant nudged to fix one figure shifts
+three others.  ``compare_matrices(before, after)`` diffs two saved
+matrices metric-by-metric and reports every relative change beyond a
+tolerance, so a calibration change ships with a machine-checked list of
+what it moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.engines.base import RunResult
+from repro.errors import SimulationError
+
+#: Metrics compared, with per-metric relative tolerance.
+WATCHED_METRICS = {
+    "elapsed_seconds": 0.05,
+    "energy_joules": 0.05,
+    "partial_key_matches": 0.01,
+    "lock_contentions": 0.01,
+    "nodes_visited": 0.01,
+    "bytes_fetched": 0.01,
+}
+
+
+@dataclass
+class RegressionFinding:
+    """One metric that moved beyond tolerance."""
+
+    workload: str
+    engine: str
+    metric: str
+    before: float
+    after: float
+
+    @property
+    def relative_change(self) -> float:
+        if self.before == 0:
+            return float("inf") if self.after else 0.0
+        return (self.after - self.before) / self.before
+
+    def __str__(self) -> str:
+        return (
+            f"{self.workload}/{self.engine}.{self.metric}: "
+            f"{self.before:g} -> {self.after:g} "
+            f"({100 * self.relative_change:+.1f} %)"
+        )
+
+
+def compare_matrices(
+    before: Dict[str, Dict[str, RunResult]],
+    after: Dict[str, Dict[str, RunResult]],
+    tolerances: Dict[str, float] = None,
+) -> List[RegressionFinding]:
+    """Diff two matrices; returns findings sorted by |relative change|.
+
+    Raises when the matrices do not cover the same engine x workload
+    grid — a silently dropped configuration is itself a regression.
+    """
+    if tolerances is None:
+        tolerances = WATCHED_METRICS
+    if set(before) != set(after):
+        raise SimulationError(
+            f"workload sets differ: {sorted(before)} vs {sorted(after)}"
+        )
+    findings: List[RegressionFinding] = []
+    for workload in before:
+        if set(before[workload]) != set(after[workload]):
+            raise SimulationError(
+                f"engine sets differ on {workload}: "
+                f"{sorted(before[workload])} vs {sorted(after[workload])}"
+            )
+        for engine, old in before[workload].items():
+            new = after[workload][engine]
+            for metric, tolerance in tolerances.items():
+                value_before = float(getattr(old, metric))
+                value_after = float(getattr(new, metric))
+                if value_before == 0 and value_after == 0:
+                    continue
+                base = abs(value_before) if value_before else 1.0
+                if abs(value_after - value_before) / base > tolerance:
+                    findings.append(
+                        RegressionFinding(
+                            workload, engine, metric, value_before, value_after
+                        )
+                    )
+    findings.sort(key=lambda f: -abs(f.relative_change))
+    return findings

@@ -1,0 +1,97 @@
+"""Markdown reports from results matrices.
+
+``markdown_report(matrix)`` renders what a paper's evaluation section
+would: one table per workload with every engine's headline metrics, and
+a closing band summary in the paper's "A×–B×" phrasing — ready to paste
+into EXPERIMENTS.md or a PR description.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.engines.base import RunResult
+from repro.errors import SimulationError
+from repro.harness.comparison import band, energy_savings, speedups
+
+HEADLINE_METRICS = (
+    ("time (ms)", lambda r: f"{r.elapsed_seconds * 1e3:.3f}"),
+    ("Mops/s", lambda r: f"{r.throughput_mops:.2f}"),
+    ("sync %", lambda r: f"{100 * r.sync_share:.1f}"),
+    ("contentions", lambda r: str(r.lock_contentions)),
+    ("matches", lambda r: str(r.partial_key_matches)),
+    ("energy (J)", lambda r: f"{r.energy_joules:.4f}"),
+    ("p99 (us)", lambda r: f"{r.p99_latency_us:.1f}"),
+)
+
+
+def _markdown_table(headers: Sequence[str], rows: List[List[str]]) -> str:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    lines.extend("| " + " | ".join(row) + " |" for row in rows)
+    return "\n".join(lines)
+
+
+def markdown_report(
+    matrix: Dict[str, Dict[str, RunResult]],
+    title: str = "DCART reproduction report",
+    reference: str = "DCART",
+    engine_order: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a full Markdown report for a run_matrix result."""
+    if not matrix:
+        raise SimulationError("cannot report on an empty matrix")
+    sections = [f"# {title}", ""]
+
+    for workload, per_engine in matrix.items():
+        names = list(engine_order) if engine_order else sorted(per_engine)
+        names = [n for n in names if n in per_engine]
+        sections.append(f"## {workload}")
+        sections.append("")
+        rows = []
+        for name in names:
+            result = per_engine[name]
+            rows.append([name] + [fmt(result) for _, fmt in HEADLINE_METRICS])
+        sections.append(
+            _markdown_table(["engine"] + [m for m, _ in HEADLINE_METRICS], rows)
+        )
+        sections.append("")
+
+    if all(reference in per_engine for per_engine in matrix.values()):
+        sections.append("## Bands (vs. " + reference + ")")
+        sections.append("")
+        baselines = sorted(
+            name
+            for per_engine in matrix.values()
+            for name in per_engine
+            if name != reference
+        )
+        rows = []
+        for name in dict.fromkeys(baselines):
+            spd = [
+                speedups(per_engine, reference)[name]
+                for per_engine in matrix.values()
+                if name in per_engine
+            ]
+            sav = [
+                energy_savings(per_engine, reference)[name]
+                for per_engine in matrix.values()
+                if name in per_engine
+            ]
+            lo_s, hi_s = band(spd)
+            lo_e, hi_e = band(sav)
+            rows.append(
+                [
+                    name,
+                    f"{lo_s:.1f}x-{hi_s:.1f}x",
+                    f"{lo_e:.1f}x-{hi_e:.1f}x",
+                ]
+            )
+        sections.append(
+            _markdown_table(["baseline", "speedup band", "energy band"], rows)
+        )
+        sections.append("")
+
+    return "\n".join(sections)

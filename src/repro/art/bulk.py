@@ -1,0 +1,118 @@
+"""Bottom-up bulk loading of sorted key/value pairs.
+
+Loading a tree by repeated ``insert`` pays a root-to-leaf walk per key
+plus every intermediate node growth (an N4 that will end life as an
+N256 is built and discarded three times).  Bulk loading a *sorted* run
+builds each node exactly once, directly at its final size — the standard
+index-build fast path, and what the engines' untimed load phase models.
+
+The construction recurses on the discriminating byte: a run of keys
+sharing ``depth`` leading bytes either collapses to a leaf (run of one),
+or becomes an inner node over the distinct values of the first byte
+where the run diverges, with the shared bytes in between stored as the
+node's compressed prefix.  The result is byte-for-byte the same
+*canonical* structure incremental insertion produces, which
+``tests/art/test_bulk.py`` asserts via structural comparison.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.art.keys import common_prefix_length
+from repro.art.nodes import Child, InnerNode, Leaf, Node4, Node16, Node48, Node256
+from repro.art.tree import AdaptiveRadixTree
+from repro.errors import TreeError
+
+
+def bulk_load(pairs: Sequence[Tuple[bytes, object]]) -> AdaptiveRadixTree:
+    """Build a tree from sorted, unique, prefix-free ``(key, value)`` pairs."""
+    tree = AdaptiveRadixTree()
+    if not pairs:
+        return tree
+    _validate(pairs)
+    tree.root = _build(pairs, 0, tree)
+    tree._size = len(pairs)
+    return tree
+
+
+def _validate(pairs: Sequence[Tuple[bytes, object]]) -> None:
+    previous = None
+    for key, _ in pairs:
+        if not isinstance(key, (bytes, bytearray)) or len(key) == 0:
+            raise TreeError("bulk_load keys must be non-empty bytes")
+        if previous is not None:
+            if key == previous:
+                raise TreeError(f"duplicate key in bulk load: {key.hex()}")
+            if key < previous:
+                raise TreeError("bulk_load input must be sorted ascending")
+            if key.startswith(previous):
+                raise TreeError(
+                    f"keys not prefix-free: {previous.hex()} prefixes {key.hex()}"
+                )
+        previous = bytes(key)
+
+
+def _node_for_fanout(fanout: int) -> InnerNode:
+    if fanout <= 4:
+        return Node4()
+    if fanout <= 16:
+        return Node16()
+    if fanout <= 48:
+        return Node48()
+    return Node256()
+
+
+def _build(
+    pairs: Sequence[Tuple[bytes, object]], depth: int, tree: AdaptiveRadixTree
+) -> Child:
+    if len(pairs) == 1:
+        key, value = pairs[0]
+        leaf = Leaf(bytes(key), value)
+        tree._register(leaf)
+        return leaf
+
+    # All keys share pairs[0].key[:depth]; find where the run diverges.
+    first_key = pairs[0][0]
+    last_key = pairs[-1][0]
+    split = depth + common_prefix_length(first_key[depth:], last_key[depth:])
+    # (Sorted input: first and last bound the common prefix of the run.)
+
+    node = None  # allocated once the fanout is known
+    groups: List[Tuple[int, int, int]] = []  # (byte, start, end)
+    start = 0
+    current = first_key[split]
+    for index in range(1, len(pairs)):
+        byte = pairs[index][0][split]
+        if byte != current:
+            groups.append((current, start, index))
+            start = index
+            current = byte
+    groups.append((current, start, len(pairs)))
+
+    node = _node_for_fanout(len(groups))
+    node.prefix = bytes(first_key[depth:split])
+    tree._register(node)
+    for byte, lo, hi in groups:
+        node.add_child(byte, _build(pairs[lo:hi], split + 1, tree))
+    return node
+
+
+def structurally_equal(a: Child, b: Child) -> bool:
+    """Same node kinds, prefixes, partial keys, and leaf contents."""
+    if a is None or b is None:
+        return a is b
+    if a.kind != b.kind:
+        return False
+    if isinstance(a, Leaf):
+        return a.key == b.key and a.value == b.value
+    if a.prefix != b.prefix:
+        return False
+    items_a = list(a.children_items())
+    items_b = list(b.children_items())
+    if [x for x, _ in items_a] != [x for x, _ in items_b]:
+        return False
+    return all(
+        structurally_equal(ca, cb)
+        for (_, ca), (_, cb) in zip(items_a, items_b)
+    )

@@ -1,0 +1,194 @@
+"""Seekable ordered cursors over the ART.
+
+``range_scan`` on the tree answers one bounded query; real index
+consumers (merge joins, pagination, LSM-style compactions) want a
+*cursor*: position it anywhere, step forward one key at a time, re-seek
+cheaply.  :class:`TreeCursor` provides that on top of the same node
+structures, maintaining an explicit descent stack so each ``step`` is
+amortised O(1) and a ``seek`` is one root-to-leaf walk.
+
+The cursor is a *snapshot-unsafe* view, like its C++ counterparts: the
+tree must not be structurally modified while a cursor is open (values
+may change).  :meth:`TreeCursor.invalidated` detects structural drift
+cheaply via the tree's allocation counter so misuse fails loudly instead
+of yielding wrong results.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.art.nodes import Child, InnerNode, Leaf
+from repro.art.tree import AdaptiveRadixTree
+from repro.errors import TreeError
+
+
+class TreeCursor:
+    """Forward cursor over a tree's keys in ascending byte order."""
+
+    def __init__(self, tree: AdaptiveRadixTree):
+        self.tree = tree
+        # Stack of (inner_node, ordered_children, next_index).
+        self._stack: List[Tuple[InnerNode, List[Child], int]] = []
+        self._current: Optional[Leaf] = None
+        self._epoch = self._tree_epoch()
+        self._exhausted = tree.root is None
+
+    # ------------------------------------------------------------------
+
+    def _tree_epoch(self) -> int:
+        stats = self.tree.stats
+        return stats.node_allocations + stats.node_frees
+
+    def invalidated(self) -> bool:
+        """Has the tree been structurally modified since positioning?"""
+        return self._epoch != self._tree_epoch()
+
+    def _check_valid(self) -> None:
+        if self.invalidated():
+            raise TreeError(
+                "cursor invalidated: the tree was structurally modified"
+            )
+
+    # ------------------------------------------------------------------
+
+    def first(self) -> "TreeCursor":
+        """Position at the smallest key (no-op on an empty tree)."""
+        self._epoch = self._tree_epoch()
+        self._stack.clear()
+        self._current = None
+        self._exhausted = self.tree.root is None
+        if not self._exhausted:
+            self._descend_to_minimum(self.tree.root)
+        return self
+
+    def seek(self, key: bytes) -> "TreeCursor":
+        """Position at the smallest stored key >= ``key``."""
+        self._epoch = self._tree_epoch()
+        self._stack.clear()
+        self._current = None
+        self._exhausted = True
+        node = self.tree.root
+        if node is None:
+            return self
+        self._seek_into(node, key, depth=0)
+        return self
+
+    def _seek_into(self, node: Child, key: bytes, depth: int) -> bool:
+        """Descend toward ``key``; returns True once positioned."""
+        if isinstance(node, Leaf):
+            if node.key >= key:
+                self._current = node
+                self._exhausted = False
+                return True
+            return False
+
+        prefix = node.prefix
+        rest = key[depth : depth + len(prefix)]
+        if prefix[: len(rest)] > rest:
+            # Whole subtree sorts above the seek key: take its minimum.
+            self._descend_to_minimum(node)
+            return True
+        if prefix[: len(rest)] < rest:
+            return False  # whole subtree sorts below the key
+        depth += len(prefix)
+        target_byte = key[depth] if depth < len(key) else 0
+
+        items = [child for _, child in node.children_items()]
+        bytes_ordered = [b for b, _ in node.children_items()]
+        for index, (byte, child) in enumerate(zip(bytes_ordered, items)):
+            if byte < target_byte:
+                continue
+            self._stack.append((node, items, index + 1))
+            if byte > target_byte:
+                self._descend_to_minimum(child)
+                return True
+            if self._seek_into(child, key, depth + 1):
+                return True
+            # The equal-byte subtree was exhausted below the key:
+            # advance to the next sibling via the stack.
+            self._stack.pop()
+            continue
+        return False
+
+    def _descend_to_minimum(self, node: Child) -> None:
+        while isinstance(node, InnerNode):
+            items = [child for _, child in node.children_items()]
+            self._stack.append((node, items, 1))
+            node = items[0]
+        self._current = node
+        self._exhausted = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def valid(self) -> bool:
+        """Is the cursor positioned on a key?"""
+        return self._current is not None and not self._exhausted
+
+    @property
+    def key(self) -> bytes:
+        if not self.valid:
+            raise TreeError("cursor is not positioned")
+        return self._current.key
+
+    @property
+    def value(self):
+        if not self.valid:
+            raise TreeError("cursor is not positioned")
+        return self._current.value
+
+    def step(self) -> bool:
+        """Advance to the next key; returns False at the end."""
+        self._check_valid()
+        while self._stack:
+            node, items, index = self._stack.pop()
+            if index < len(items):
+                self._stack.append((node, items, index + 1))
+                self._descend_to_minimum(items[index])
+                return True
+        self._current = None
+        self._exhausted = True
+        return False
+
+    def __iter__(self) -> Iterator[Tuple[bytes, object]]:
+        """Iterate from the current position to the end."""
+        while self.valid:
+            yield self.key, self.value
+            if not self.step():
+                break
+
+    def take(self, count: int) -> List[Tuple[bytes, object]]:
+        """Up to ``count`` pairs from the current position (pagination)."""
+        if count < 0:
+            raise TreeError(f"take count must be >= 0: {count}")
+        out: List[Tuple[bytes, object]] = []
+        for pair in self:
+            out.append(pair)
+            if len(out) >= count:
+                break
+        return out
+
+
+def merge_cursors(
+    cursors: List[TreeCursor],
+) -> Iterator[Tuple[bytes, object]]:
+    """K-way merge of positioned cursors in ascending key order.
+
+    Duplicate keys across trees are all yielded (stable by cursor
+    order) — the consumer decides the reconciliation policy, as in an
+    LSM read path.
+    """
+    import heapq
+
+    heap = []
+    for order, cursor in enumerate(cursors):
+        if cursor.valid:
+            heap.append((cursor.key, order))
+    heapq.heapify(heap)
+    while heap:
+        key, order = heapq.heappop(heap)
+        cursor = cursors[order]
+        yield cursor.key, cursor.value
+        if cursor.step() and cursor.valid:
+            heapq.heappush(heap, (cursor.key, order))

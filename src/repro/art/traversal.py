@@ -1,0 +1,38 @@
+"""Per-operation traversal recording.
+
+The engines need, for every operation they simulate, the exact node path
+the ART walked, the partial-key-match count, and the identity of the node
+the operation landed on.  :func:`record_traversal` installs a fresh
+:class:`~repro.art.stats.TraversalRecord` on a tree for the duration of a
+``with`` block; the tree's descent code fills it in.
+
+    with record_traversal(tree, "read", key) as rec:
+        value = tree.get(key)
+    # rec.touches, rec.partial_key_matches, rec.target_node_id ... are set
+
+Records nest safely (the previous recorder is restored on exit), and the
+recorder is removed even when the operation raises — a failed insert still
+produces a usable trace, because a real machine still paid for the walk.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from repro.art.stats import TraversalRecord
+from repro.art.tree import AdaptiveRadixTree
+
+
+@contextlib.contextmanager
+def record_traversal(
+    tree: AdaptiveRadixTree, op_kind: str = "", key: bytes = b""
+) -> Iterator[TraversalRecord]:
+    """Attach a fresh :class:`TraversalRecord` to ``tree`` for one op."""
+    record = TraversalRecord(op_kind=op_kind, key=bytes(key))
+    previous = tree._recorder
+    tree._recorder = record
+    try:
+        yield record
+    finally:
+        tree._recorder = previous

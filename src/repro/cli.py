@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``figures`` — regenerate paper figures/tables and print them
+  (``--only fig9 fig11`` to select, ``--keys/--ops`` to scale,
+  ``--save DIR`` to also write the tables and raw JSON).
+* ``run`` — one engine on one workload, printing the result summary.
+* ``workload`` — generate a workload and write it as JSON-lines
+  (replayable with ``run --replay``).
+
+Examples:
+
+    python -m repro figures --only fig9 --keys 10000 --ops 100000
+    python -m repro run --engine DCART --workload IPGEO --ops 50000
+    python -m repro workload --name DICT --keys 5000 --out dict.jsonl
+    python -m repro run --engine SMART --replay dict.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.harness import experiments
+from repro.harness.runner import default_engines
+from repro.harness.serialize import result_to_dict, save_matrix
+from repro.workloads import WORKLOAD_NAMES, make_workload
+from repro.workloads.trace import load_workload, save_workload
+
+FIGURES = {
+    "fig2a": experiments.fig2a_breakdown,
+    "fig2b": experiments.fig2b_redundancy,
+    "fig2c": experiments.fig2c_utilisation,
+    "fig2d": experiments.fig2d_sync_vs_ops,
+    "fig2e": experiments.fig2e_write_ratio,
+    "fig3": experiments.fig3_distribution,
+    "table1": experiments.table1_config,
+    "fig7": experiments.fig7_contentions,
+    "fig8": experiments.fig8_matches,
+    "fig9": experiments.fig9_performance,
+    "fig10": experiments.fig10_throughput_latency,
+    "fig11": experiments.fig11_energy,
+    "fig12a": experiments.fig12a_op_sensitivity,
+    "fig12b": experiments.fig12b_mix_sensitivity,
+    "ablation": experiments.ablation,
+}
+
+ENGINE_NAMES = ("ART", "Heart", "SMART", "CuART", "DCART-C", "DCART")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DCART (DAC 2025) reproduction harness"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="regenerate paper figures/tables")
+    figures.add_argument(
+        "--only", nargs="*", choices=sorted(FIGURES), default=None,
+        help="subset of figures (default: all)",
+    )
+    figures.add_argument("--keys", type=int, default=experiments.DEFAULT_KEYS)
+    figures.add_argument("--ops", type=int, default=experiments.DEFAULT_OPS)
+    figures.add_argument("--seed", type=int, default=experiments.DEFAULT_SEED)
+    figures.add_argument("--save", metavar="DIR", default=None)
+
+    run = sub.add_parser("run", help="run one engine on one workload")
+    run.add_argument("--engine", choices=ENGINE_NAMES, required=True)
+    run.add_argument("--workload", choices=WORKLOAD_NAMES, default="IPGEO")
+    run.add_argument("--keys", type=int, default=10_000)
+    run.add_argument("--ops", type=int, default=100_000)
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--write-ratio", type=float, default=None)
+    run.add_argument("--replay", metavar="FILE", default=None,
+                     help="replay a saved workload instead of generating")
+    run.add_argument("--json", action="store_true", help="emit JSON")
+
+    workload = sub.add_parser("workload", help="generate + save a workload")
+    workload.add_argument("--name", choices=WORKLOAD_NAMES, required=True)
+    workload.add_argument("--keys", type=int, default=10_000)
+    workload.add_argument("--ops", type=int, default=None)
+    workload.add_argument("--seed", type=int, default=1)
+    workload.add_argument("--write-ratio", type=float, default=None)
+    workload.add_argument("--out", required=True)
+    return parser
+
+
+def _cmd_figures(args) -> int:
+    names = args.only if args.only else sorted(FIGURES)
+    for name in names:
+        fn = FIGURES[name]
+        if name == "table1":
+            result = fn()
+        elif name in ("fig2d", "fig10", "fig12a"):
+            result = fn(n_keys=args.keys, seed=args.seed)
+        elif name == "fig2e":
+            result = fn(n_keys=args.keys, n_ops=args.ops, seed=args.seed)
+        else:
+            result = fn(n_keys=args.keys, n_ops=args.ops, seed=args.seed)
+        print(result.render())
+        print()
+        if args.save:
+            from repro.analysis.export import experiment_to_csv
+
+            os.makedirs(args.save, exist_ok=True)
+            with open(os.path.join(args.save, f"{name}.txt"), "w") as handle:
+                handle.write(result.render() + "\n")
+            experiment_to_csv(result, os.path.join(args.save, f"{name}.csv"))
+            if result.raw:
+                save_matrix(result.raw, os.path.join(args.save, f"{name}.json"))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    if args.replay:
+        workload = load_workload(args.replay)
+        n_keys = workload.n_keys
+    else:
+        workload = make_workload(
+            args.workload,
+            n_keys=args.keys,
+            n_ops=args.ops,
+            seed=args.seed,
+            write_ratio=args.write_ratio,
+        )
+        n_keys = args.keys
+    engine = default_engines(n_keys, include=[args.engine])[0]
+    result = engine.run(workload)
+    if args.json:
+        import json
+
+        print(json.dumps(result_to_dict(result), indent=1))
+    else:
+        print(workload.summary())
+        print(result.summary())
+        print(
+            f"p99 latency: {result.p99_latency_us:.1f} us, "
+            f"redundancy {100 * result.redundancy_ratio:.1f} %, "
+            f"cacheline utilisation {100 * result.cacheline_utilisation:.1f} %"
+        )
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    workload = make_workload(
+        args.name,
+        n_keys=args.keys,
+        n_ops=args.ops,
+        seed=args.seed,
+        write_ratio=args.write_ratio,
+    )
+    save_workload(workload, args.out)
+    print(f"wrote {workload.summary()} to {args.out}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "figures":
+        return _cmd_figures(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "workload":
+        return _cmd_workload(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Cost model for atomic compare-and-swap operations.
+
+The paper motivates DCART partly with the observation (its reference
+[21], Schweizer et al.) that an atomic CAS is *more than 15× slower* when
+its target line resides in RAM than when it sits in L1.  CAS-based ART
+variants (Heart, SMART) therefore do not escape the locality problem:
+their atomics mostly hit RAM because tree traversal thrashes the cache.
+
+:class:`CasCostModel` prices one CAS given where its line was found, and
+accumulates the counts the evaluation reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class CasCostModel:
+    """Latency of a CAS by residency of the target cache line."""
+
+    l1_ns: float = 20.0
+    ram_ns: float = 320.0  # >= 15x the L1 cost, per [21]
+    failed_retry_ns: float = 40.0  # extra spin cost per failed attempt
+
+    def __post_init__(self):
+        if self.l1_ns <= 0 or self.ram_ns <= 0 or self.failed_retry_ns < 0:
+            raise ConfigError("CAS costs must be positive")
+        if self.ram_ns < self.l1_ns:
+            raise ConfigError("RAM CAS cannot be cheaper than L1 CAS")
+        self.count_cached = 0
+        self.count_uncached = 0
+        self.count_retries = 0
+
+    @property
+    def slowdown(self) -> float:
+        """RAM-vs-L1 latency ratio (the paper's '>15x')."""
+        return self.ram_ns / self.l1_ns
+
+    def cost_ns(self, line_cached: bool, retries: int = 0) -> float:
+        """Price one CAS and record it."""
+        if retries < 0:
+            raise ConfigError(f"retries must be >= 0: {retries}")
+        if line_cached:
+            self.count_cached += 1
+            base = self.l1_ns
+        else:
+            self.count_uncached += 1
+            base = self.ram_ns
+        self.count_retries += retries
+        return base + retries * self.failed_retry_ns
+
+    @property
+    def total_cas(self) -> int:
+        return self.count_cached + self.count_uncached

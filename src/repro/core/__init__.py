@@ -1,0 +1,36 @@
+"""DCART: the data-centric ART accelerator (paper §III).
+
+This package models the accelerator of Fig. 4/5 at cycle-approximate
+fidelity:
+
+* :mod:`config`        — Table I parameters (1 PCU, 16 SOUs, buffer sizes);
+* :mod:`prefixing`     — the 8-bit prefix extraction the PCU buckets on;
+* :mod:`bucket_table`  — the 16 off-chip Bucket_Tables + Bucket_buffer;
+* :mod:`shortcut_table`— the Shortcut_Table hash map + Shortcut_buffer;
+* :mod:`tree_buffer`   — the value-aware Tree_buffer policy (§III-E);
+* :mod:`lru_buffer`    — the LRU on-chip buffers;
+* :mod:`pcu`           — the 3-stage combining pipeline (§III-B);
+* :mod:`dispatcher`    — bucket→SOU assignment + node-value estimation;
+* :mod:`sou`           — the 4-stage shortcut-based operating unit (§III-C);
+* :mod:`batching`      — PCU/SOU overlap across batches (§III-D, Fig. 6);
+* :mod:`accelerator`   — the top-level :class:`DcartAccelerator` engine.
+"""
+
+from repro.core.config import DCARTConfig
+from repro.core.prefixing import PrefixExtractor
+from repro.core.shortcut_table import ShortcutEntry, ShortcutTable
+from repro.core.tree_buffer import ValueAwareTreeBuffer
+from repro.core.lru_buffer import LruBuffer
+from repro.core.bucket_table import BucketTables
+from repro.core.accelerator import DcartAccelerator
+
+__all__ = [
+    "BucketTables",
+    "DCARTConfig",
+    "DcartAccelerator",
+    "LruBuffer",
+    "PrefixExtractor",
+    "ShortcutEntry",
+    "ShortcutTable",
+    "ValueAwareTreeBuffer",
+]

@@ -1,0 +1,280 @@
+"""The DCART accelerator top level (paper Fig. 4).
+
+:class:`DcartAccelerator` wires the hardware units together and runs a
+workload end to end:
+
+1. **Calibrate** the prefix extractor on a key sample (§III-B's default —
+   the key's first byte — where that byte discriminates; the first
+   useful byte otherwise, reported in ``extra['prefix_byte_offset']``).
+2. Per batch: the **PCU** combines operations into the 16 Bucket_Tables,
+   the **Dispatcher** hands buckets to SOUs with their value estimates,
+   and each **SOU** executes its buckets against the live ART through the
+   Shortcut_Table and the value-aware Tree_buffer.
+3. Cross-bucket structural writes (mutations of ancestors shared by
+   several buckets) are the only operations requiring synchronisation;
+   they serialise on a global lock — DCART's small residual in Fig. 7.
+4. Batch cycles are ``max(slowest SOU, HBM bandwidth floor)`` plus the
+   residual sync; the run composes batches with the §III-D overlap.
+
+Ablation switches on :class:`~repro.core.config.DCARTConfig` disable
+shortcuts, combining, the overlap, or value-aware buffering — each
+reverts one §III design decision for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.art.stats import CACHE_LINE_BYTES
+from repro.art.tree import AdaptiveRadixTree
+from repro.core.batching import overlap_timeline
+from repro.core.bucket_table import BucketTables
+from repro.core.config import DCARTConfig, SHORTCUT_ENTRY_BYTES
+from repro.core.dispatcher import DispatchedBucket, Dispatcher
+from repro.core.pcu import PrefixCombiningUnit
+from repro.core.prefixing import PrefixExtractor
+from repro.core.shortcut_table import ShortcutTable
+from repro.core.sou import BucketOutcome, ShortcutOperatingUnit
+from repro.core.tree_buffer import LruTreeBuffer, ValueAwareTreeBuffer
+from repro.engines.base import Engine, RunResult, TimeBreakdown
+from repro.model.platform import FPGA_PLATFORM, Platform
+from repro.workloads.ops import Operation, Workload
+
+#: Keys sampled from the loaded set for prefix calibration.
+CALIBRATION_SAMPLE = 4096
+
+
+class DcartAccelerator(Engine):
+    """DCART on the Alveo U280, as a deterministic cycle model."""
+
+    name = "DCART"
+
+    def __init__(
+        self,
+        platform: Platform = FPGA_PLATFORM,
+        config: Optional[DCARTConfig] = None,
+    ):
+        super().__init__(platform)
+        self.config = config if config is not None else DCARTConfig()
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        workload: Workload,
+        tree: Optional[AdaptiveRadixTree] = None,
+        records=None,  # ignored: DCART's execution takes different paths
+    ) -> RunResult:
+        config = self.config
+        costs = config.costs
+        if tree is None:
+            tree = self.build_tree(workload)
+        result = self._new_result(workload)
+
+        extractor = self._make_extractor(workload)
+        tables = BucketTables(extractor, config.n_buckets, config.bucket_buffer_bytes)
+        pcu = PrefixCombiningUnit(tables, costs)
+        dispatcher = Dispatcher(config.n_sous)
+        shortcuts = (
+            ShortcutTable(config.shortcut_buffer_bytes)
+            if config.enable_shortcuts
+            else None
+        )
+        buffer_cls = (
+            ValueAwareTreeBuffer if config.value_aware_tree_buffer else LruTreeBuffer
+        )
+        tree_buffer = buffer_cls(config.tree_buffer_bytes)
+        sous = [
+            ShortcutOperatingUnit(
+                sou_id=i,
+                tree=tree,
+                shortcuts=shortcuts,
+                tree_buffer=tree_buffer,
+                costs=costs,
+                shared_depth_bytes=extractor.byte_offset,
+            )
+            for i in range(config.n_sous)
+        ]
+
+        pcu_cycles: List[int] = []
+        sou_cycles: List[int] = []
+        batch_outcomes: List[List[BucketOutcome]] = []
+        contentions = 0
+        global_sync_ops = 0
+        sync_cycles_total = 0
+        offchip_lines_total = 0
+
+        for batch in workload.operations.batches(config.batch_size):
+            tree_buffer.decay()
+            if config.enable_combining:
+                pcu_outcome = pcu.combine_batch(batch)
+                dispatched = dispatcher.dispatch(tables)
+                pcu_cycles.append(pcu_outcome.cycles)
+            else:
+                dispatched = self._round_robin(batch)
+                pcu_cycles.append(0)
+
+            outcomes = [sous[b.sou_id].process_bucket(b) for b in dispatched]
+            batch_outcomes.append(outcomes)
+
+            per_sou: Dict[int, int] = {}
+            batch_offchip_lines = 0
+            for outcome in outcomes:
+                per_sou[outcome.sou_id] = per_sou.get(outcome.sou_id, 0) + outcome.cycles
+                batch_offchip_lines += outcome.offchip_lines
+            compute_cycles = max(per_sou.values()) if per_sou else 0
+
+            # Residual synchronisation: structural writes to shared
+            # ancestors serialise on a global lock across SOUs.
+            sync_targets: List[int] = []
+            for outcome in outcomes:
+                sync_targets.extend(outcome.global_sync_targets)
+            batch_sync_cycles = len(sync_targets) * costs.global_sync_cycles
+            counts = Counter(sync_targets)
+            contentions += sum(c - 1 for c in counts.values() if c > 1)
+            # Each shared-ancestor lock stalls the other active SOUs.
+            active_sous = len({o.sou_id for o in outcomes})
+            contentions += len(sync_targets) * max(0, active_sous - 1)
+            # One contention per coalesced write group (single lock for
+            # the whole group, vs. k-1 contentions operation-centric).
+            contentions += sum(o.coalesced_contended_groups for o in outcomes)
+            if not config.enable_combining:
+                # Without combining, same-node writes land on different
+                # SOUs and must synchronise like any shared write.
+                extra = self._uncombined_conflicts(batch)
+                contentions += extra
+                batch_sync_cycles += extra * costs.global_sync_cycles
+            global_sync_ops += len(sync_targets)
+            sync_cycles_total += batch_sync_cycles
+
+            # HBM bandwidth floor for the batch's off-chip traffic.
+            offchip_bytes = batch_offchip_lines * CACHE_LINE_BYTES
+            if shortcuts is not None:
+                offchip_bytes += sum(o.shortcut_misses for o in outcomes) * (
+                    SHORTCUT_ENTRY_BYTES
+                )
+            bandwidth_cycles = int(
+                offchip_bytes
+                / (costs.hbm_bandwidth_gb_s * 1e9)
+                * costs.clock_hz
+            )
+            offchip_lines_total += batch_offchip_lines
+            sou_cycles.append(
+                max(compute_cycles, bandwidth_cycles) + batch_sync_cycles
+            )
+
+        timeline = overlap_timeline(pcu_cycles, sou_cycles, config.enable_overlap)
+        elapsed = timeline.total_cycles * costs.cycle_seconds
+
+        self._aggregate(result, batch_outcomes, pcu_cycles, costs)
+        result.cache_hit_rate = tree_buffer.hit_rate
+        result.elapsed_seconds = elapsed
+        result.lock_contentions = contentions
+        result.lock_acquisitions = global_sync_ops
+        result.energy_joules = self.platform.energy_joules(elapsed)
+
+        sync_seconds = sync_cycles_total * costs.cycle_seconds
+        unhidden_pcu = (
+            timeline.pcu_total_cycles - timeline.hidden_cycles
+        ) * costs.cycle_seconds
+        result.breakdown = TimeBreakdown(
+            traverse_seconds=max(0.0, elapsed - sync_seconds - unhidden_pcu),
+            sync_seconds=min(sync_seconds, elapsed),
+            other_seconds=min(unhidden_pcu, max(0.0, elapsed - sync_seconds)),
+        )
+        result.extra.update(
+            {
+                "prefix_byte_offset": extractor.byte_offset,
+                "tree_buffer_hit_rate": tree_buffer.hit_rate,
+                "shortcut_buffer_hit_rate": (
+                    shortcuts.buffer_hit_rate if shortcuts else 0.0
+                ),
+                "shortcut_entries": len(shortcuts) if shortcuts else 0,
+                "stale_shortcuts": (shortcuts.stale_hits if shortcuts else 0),
+                "hidden_pcu_cycles": timeline.hidden_cycles,
+                "overlap_efficiency": timeline.overlap_efficiency,
+                "total_cycles": timeline.total_cycles,
+                "offchip_lines": offchip_lines_total,
+                "global_sync_ops": global_sync_ops,
+            }
+        )
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _make_extractor(self, workload: Workload) -> PrefixExtractor:
+        if self.config.prefix_byte_offset is not None:
+            return PrefixExtractor(
+                self.config.prefix_byte_offset, self.config.n_buckets
+            )
+        sample = workload.loaded_keys[:CALIBRATION_SAMPLE]
+        return PrefixExtractor.calibrate(sample, self.config.n_buckets)
+
+    def _round_robin(self, batch: List[Operation]) -> List[DispatchedBucket]:
+        """No-combining ablation: arrival order, round-robin over SOUs."""
+        per_sou: List[List[Operation]] = [[] for _ in range(self.config.n_sous)]
+        for i, op in enumerate(batch):
+            per_sou[i % self.config.n_sous].append(op)
+        return [
+            DispatchedBucket(bucket_id=i, sou_id=i, operations=ops, value=len(ops))
+            for i, ops in enumerate(per_sou)
+            if ops
+        ]
+
+    @staticmethod
+    def _uncombined_conflicts(batch: List[Operation]) -> int:
+        """Same-key write collisions within an uncombined batch."""
+        writers: Counter = Counter()
+        touched: Counter = Counter()
+        for op in batch:
+            touched[op.key] += 1
+            if op.kind.is_write:
+                writers[op.key] += 1
+        return sum(
+            touched[key] - 1 for key, count in writers.items() if touched[key] > 1
+        )
+
+    def _aggregate(
+        self,
+        result: RunResult,
+        batch_outcomes: List[List[BucketOutcome]],
+        pcu_cycles: List[int],
+        costs,
+    ) -> None:
+        seen = set()
+        latencies: List[Tuple[int, float]] = []
+        matches = visited = fetched = used = 0
+        shortcut_hits = shortcut_misses = traversals = 0
+        for batch_index, outcomes in enumerate(batch_outcomes):
+            # Latency of an op = waiting for its batch to be combined,
+            # plus its completion offset within its SOU's queue.
+            start = pcu_cycles[batch_index]
+            for outcome in outcomes:
+                matches += outcome.partial_key_matches
+                visited += outcome.nodes_visited
+                fetched += outcome.bytes_fetched
+                used += outcome.bytes_used
+                shortcut_hits += outcome.shortcut_hits
+                shortcut_misses += outcome.shortcut_misses
+                traversals += outcome.traversals
+                seen |= outcome.seen_nodes
+                result.node_access_counts.update(outcome.node_access_counts)
+                for op_id, completion in zip(
+                    outcome.op_ids, outcome.completion_cycles
+                ):
+                    latencies.append(
+                        (op_id, (start + completion) * costs.cycle_seconds * 1e9)
+                    )
+        result.partial_key_matches = matches
+        result.nodes_visited = visited
+        result.distinct_nodes_visited = len(seen)
+        result.bytes_fetched = fetched
+        result.bytes_used = used
+        result.extra["shortcut_hits"] = shortcut_hits
+        result.extra["shortcut_misses"] = shortcut_misses
+        result.extra["traversals"] = traversals
+        latencies.sort()
+        result.latencies_ns = np.asarray([lat for _, lat in latencies])

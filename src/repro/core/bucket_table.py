@@ -1,0 +1,73 @@
+"""The 16 Bucket_Tables and the on-chip Bucket_buffer (paper §III-B).
+
+The PCU appends each scanned operation to the Bucket_Table matching its
+prefix.  Tables live in off-chip memory; the 2 MB Bucket_buffer absorbs
+the appends, so a spill to HBM happens only when a batch's combined
+operations exceed the buffer (the spilled bytes are billed by the PCU's
+timing model).
+
+:class:`BucketTables` is per-batch state: ``clear()`` starts a new batch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.config import OP_RECORD_BYTES
+from repro.core.prefixing import PrefixExtractor
+from repro.errors import ConfigError
+from repro.workloads.ops import Operation
+
+
+class BucketTables:
+    """Per-batch operation buckets keyed by prefix."""
+
+    def __init__(
+        self,
+        extractor: PrefixExtractor,
+        n_buckets: int,
+        buffer_bytes: int,
+    ):
+        if n_buckets <= 0:
+            raise ConfigError(f"n_buckets must be positive: {n_buckets}")
+        if buffer_bytes <= 0:
+            raise ConfigError(f"buffer_bytes must be positive: {buffer_bytes}")
+        self.extractor = extractor
+        self.n_buckets = n_buckets
+        self.buffer_bytes = buffer_bytes
+        self.buckets: List[List[Operation]] = [[] for _ in range(n_buckets)]
+        self.total_ops = 0
+        self.spilled_bytes = 0
+        self.batches_combined = 0
+
+    def clear(self) -> None:
+        """Start a new batch (the Bucket_buffer is recycled)."""
+        for bucket in self.buckets:
+            bucket.clear()
+        self.total_ops = 0
+
+    def combine(self, operations: Sequence[Operation]) -> None:
+        """The PCU's Combine_Operation stage for one batch."""
+        for op in operations:
+            self.buckets[self.extractor.bucket(op.key)].append(op)
+            self.total_ops += 1
+        overflow = self.total_ops * OP_RECORD_BYTES - self.buffer_bytes
+        if overflow > 0:
+            self.spilled_bytes += overflow
+        self.batches_combined += 1
+
+    def occupancy(self) -> List[int]:
+        """Operations per bucket (the dispatcher's load view)."""
+        return [len(bucket) for bucket in self.buckets]
+
+    @property
+    def imbalance(self) -> float:
+        """Max-over-mean bucket occupancy (1.0 = perfectly balanced)."""
+        counts = self.occupancy()
+        total = sum(counts)
+        if total == 0:
+            return 0.0
+        return max(counts) / (total / self.n_buckets)
+
+    def nonempty_buckets(self) -> int:
+        return sum(1 for bucket in self.buckets if bucket)

@@ -1,0 +1,309 @@
+"""The Shortcut-based Operating Unit (paper §III-C, Fig. 5 right).
+
+Four pipeline stages per operation:
+
+1. ``Index_Shortcut``   — probe the Shortcut_Table for the operation's
+   key (2 cycles in the Shortcut_buffer, HBM latency otherwise);
+2. ``Traverse_Tree``    — on a valid shortcut, fetch the target (and,
+   for writes, its parent) directly by address; otherwise perform the
+   top-down partial-key-matching walk, each node through the
+   Tree_buffer;
+3. ``Trigger_Operation``— apply all coalesced work at the target node;
+4. ``Generate_Shortcut``— record the match result for reuse.
+
+Timing model: the stages are pipelined, so in steady state an operation
+costs the initiation interval (2 cycles) *unless* it stalls the pipeline —
+off-chip fetches and structural modifications are the stalls, and they
+are billed at full latency.  Stale shortcuts (the address died under a
+split/grow/merge) are detected by validating the fetched node against the
+operation's key, then repaired by re-traversal, exactly as §III-C's
+"entry needs to be updated when the operation causes a change in the
+type of Node_X" requires.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.art.nodes import Leaf
+from repro.art.stats import CACHE_LINE_BYTES, lines_for
+from repro.art.tree import AdaptiveRadixTree
+from repro.core.dispatcher import DispatchedBucket
+from repro.core.shortcut_table import ShortcutTable
+from repro.engines.base import apply_operation
+from repro.model.costs import FpgaCosts
+from repro.workloads.ops import OpKind, Operation
+
+#: Steady-state initiation interval of the 4-stage pipeline (cycles/op).
+PIPELINE_II = 2
+
+
+@dataclass
+class BucketOutcome:
+    """Counters and timing for one bucket processed by one SOU."""
+
+    bucket_id: int
+    sou_id: int
+    n_ops: int = 0
+    cycles: int = 0
+    partial_key_matches: int = 0
+    nodes_visited: int = 0
+    bytes_fetched: int = 0
+    bytes_used: int = 0
+    offchip_lines: int = 0
+    shortcut_hits: int = 0
+    shortcut_misses: int = 0
+    stale_shortcuts: int = 0
+    traversals: int = 0
+    # (target_node_id, is_write) of ops that modified an ancestor shared
+    # across buckets — the only ops needing cross-SOU synchronisation.
+    global_sync_targets: List[int] = field(default_factory=list)
+    # Coalesced groups (same key, >=2 ops, >=1 write) in this bucket:
+    # each acquires its node lock once — "a single lock for multiple
+    # operations" (paper §IV-B) — and is counted as one contention.
+    coalesced_contended_groups: int = 0
+    # Completion cycle (within this bucket) of every op, for latency.
+    completion_cycles: List[int] = field(default_factory=list)
+    op_ids: List[int] = field(default_factory=list)
+    node_access_counts: Counter = field(default_factory=Counter)
+    seen_nodes: set = field(default_factory=set)
+
+
+class ShortcutOperatingUnit:
+    """One SOU; stateless across buckets except through shared tables."""
+
+    def __init__(
+        self,
+        sou_id: int,
+        tree: AdaptiveRadixTree,
+        shortcuts: Optional[ShortcutTable],
+        tree_buffer,
+        costs: FpgaCosts,
+        shared_depth_bytes: int,
+    ):
+        self.sou_id = sou_id
+        self.tree = tree
+        self.shortcuts = shortcuts
+        self.tree_buffer = tree_buffer
+        self.costs = costs
+        #: Key-byte depth at or above which a node is shared across
+        #: buckets (ancestors of the bucket-discriminating byte).
+        self.shared_depth_bytes = shared_depth_bytes
+
+    # ------------------------------------------------------------------
+
+    def process_bucket(self, bucket: DispatchedBucket) -> BucketOutcome:
+        outcome = BucketOutcome(bucket_id=bucket.bucket_id, sou_id=self.sou_id)
+        outcome.coalesced_contended_groups = count_contended_groups(
+            bucket.operations
+        )
+        clock = 0
+        for op in bucket.operations:
+            clock += self._process_op(op, bucket.value, outcome)
+            outcome.completion_cycles.append(clock)
+            outcome.op_ids.append(op.op_id)
+            outcome.n_ops += 1
+        outcome.cycles = clock
+        return outcome
+
+    # ------------------------------------------------------------------
+
+    def _process_op(
+        self, op: Operation, bucket_value: int, outcome: BucketOutcome
+    ) -> int:
+        """Execute one operation; returns its pipeline cycles."""
+        costs = self.costs
+        stall_cycles = 0
+
+        entry = None
+        if self.shortcuts is not None:
+            entry, on_chip = self.shortcuts.lookup(op.key)
+            if not on_chip:
+                offchip = costs.shortcut_offchip_cycles - costs.shortcut_lookup_cycles
+                stall_cycles += -(-offchip // costs.memory_parallelism)
+            if entry is not None and op.kind in (OpKind.READ, OpKind.WRITE):
+                served, fast_cycles = self._try_shortcut_path(
+                    op, entry, bucket_value, outcome
+                )
+                if served:
+                    return max(PIPELINE_II, stall_cycles + fast_cycles)
+                outcome.stale_shortcuts += 1
+                self.shortcuts.note_stale(op.key)
+
+        # Full traversal (Traverse_Tree the long way).
+        record = apply_operation(self.tree, op)
+        outcome.traversals += 1
+        outcome.shortcut_misses += 1
+        for touch in record.touches:
+            stall_cycles += self._fetch_node(
+                touch.address,
+                touch.size_bytes,
+                touch.fetch_bytes,
+                bucket_value,
+                outcome,
+            )
+            self._count_visit(
+                touch.node_id, touch.fetch_bytes, touch.used_bytes, outcome
+            )
+            if touch.kind != "Leaf":
+                outcome.partial_key_matches += 1
+
+        if record.structure_modified:
+            stall_cycles += costs.structure_op_cycles
+            self._invalidate_dead_nodes(record)
+            if self._modifies_shared_ancestor(record):
+                outcome.global_sync_targets.append(record.target_node_id or -1)
+
+        if (
+            self.shortcuts is not None
+            and record.outcome in ("hit", "updated")
+            and record.target_address is not None
+        ):
+            self.shortcuts.generate(
+                op.key, record.target_address, record.parent_address
+            )
+        if self.shortcuts is not None and record.outcome == "deleted":
+            self.shortcuts.drop(op.key)
+
+        return max(PIPELINE_II, stall_cycles)
+
+    def _try_shortcut_path(
+        self, op: Operation, entry, bucket_value: int, outcome: BucketOutcome
+    ) -> Tuple[bool, int]:
+        """Serve the op directly from a shortcut; False if the entry is stale."""
+        node = self.tree.node_at(entry.target_address)
+        if not isinstance(node, Leaf) or node.key != op.key:
+            return False, 0
+        used = node.used_bytes_for_descent()
+        span = min(node.size_bytes, 16 + used)
+        cycles = self._fetch_node(
+            node.address, node.size_bytes, span, bucket_value, outcome
+        )
+        self._count_visit(node.node_id, span, used, outcome)
+        if op.kind is OpKind.WRITE:
+            node.value = op.value
+            parent = (
+                self.tree.node_at(entry.parent_address)
+                if entry.parent_address is not None
+                else None
+            )
+            if parent is not None:
+                parent_used = parent.used_bytes_for_descent()
+                parent_span = min(parent.size_bytes, 16 + parent_used)
+                cycles += self._fetch_node(
+                    parent.address,
+                    parent.size_bytes,
+                    parent_span,
+                    bucket_value,
+                    outcome,
+                )
+                self._count_visit(parent.node_id, parent_span, parent_used, outcome)
+        outcome.shortcut_hits += 1
+        return True, max(PIPELINE_II, cycles)
+
+    # ------------------------------------------------------------------
+
+    def _fetch_node(
+        self,
+        address: int,
+        size_bytes: int,
+        fetch_bytes: int,
+        bucket_value: int,
+        outcome: BucketOutcome,
+    ) -> int:
+        """Fetch one node through the Tree_buffer; returns stall cycles.
+
+        An off-chip miss does not freeze the SOU for the full HBM latency:
+        the pipeline keeps ``memory_parallelism`` requests in flight, so
+        the *throughput* cost per miss is the latency divided by the
+        outstanding-request depth (standard latency hiding).  A miss
+        moves only the lines the descent indexes (``fetch_bytes``), but
+        the buffer reserves the node's full footprint.
+        """
+        if self.tree_buffer.lookup(address):
+            # Refresh the resident node's value with the current batch's
+            # estimate so aged entries recover while they stay hot.
+            self.tree_buffer.set_value(address, float(bucket_value))
+            return 0  # BRAM access is hidden by the pipeline
+        outcome.offchip_lines += lines_for(fetch_bytes)
+        self.tree_buffer.admit(address, size_bytes, float(bucket_value))
+        mlp = self.costs.memory_parallelism
+        return -(-self.costs.tree_offchip_cycles // mlp)
+
+    @staticmethod
+    def _count_visit(
+        node_id: int, fetch_bytes: int, used_bytes: int, outcome: BucketOutcome
+    ) -> None:
+        outcome.nodes_visited += 1
+        outcome.node_access_counts[node_id] += 1
+        outcome.seen_nodes.add(node_id)
+        outcome.bytes_fetched += lines_for(fetch_bytes) * CACHE_LINE_BYTES
+        outcome.bytes_used += used_bytes
+
+    def _invalidate_dead_nodes(self, record) -> None:
+        """Evict buffer entries whose addresses died in this mutation."""
+        for touch in record.touches:
+            if self.tree.node_at(touch.address) is None:
+                self.tree_buffer.invalidate(touch.address)
+
+    def _modifies_shared_ancestor(self, record) -> bool:
+        """Did the op modify (or lock) a node shared across buckets?
+
+        A node whose subtree begins at a key-byte depth at or above the
+        bucket-discriminating byte covers keys of several buckets; a
+        structural change there must synchronise across SOUs.  ROWEX
+        additionally locks the *parent* when the target changes type
+        (§II-A), so a type change directly below a shared ancestor also
+        synchronises.  Byte depth of the i-th path node = sum of
+        (prefix_len + 1 edge byte) of the nodes above it, recoverable
+        from the recorded ``used_bytes`` (= prefix_len + 1 + 8).
+        """
+        return modifies_shared_ancestor(record, self.shared_depth_bytes)
+
+
+def count_contended_groups(operations) -> int:
+    """Coalesced same-key groups (>=2 ops, >=1 write) in one bucket.
+
+    Under the CTT model each such group serialises behind a *single*
+    lock acquisition, so it registers one contention where an
+    operation-centric engine would register ``k - 1``.
+    """
+    counts: Counter = Counter()
+    writers: set = set()
+    for op in operations:
+        counts[op.key] += 1
+        if op.kind.is_write:
+            writers.add(op.key)
+    return sum(1 for key, count in counts.items() if count > 1 and key in writers)
+
+
+def modifies_shared_ancestor(record, shared_depth_bytes: int) -> bool:
+    """Shared-ancestor test used by both DCART and DCART-C (see above).
+
+    The target of a split/grow may be a *newly created* node absent from
+    the touch list; it then replaced the last node the walk touched and
+    sits at that node's byte depth.
+    """
+    if record.target_node_id is None or not record.touches:
+        return False
+    depths = []
+    depth = 0
+    target_index = None
+    for i, touch in enumerate(record.touches):
+        depths.append(depth)
+        if touch.node_id == record.target_node_id:
+            target_index = i
+            break
+        if touch.kind != "Leaf":
+            depth += max(0, touch.used_bytes - 9) + 1
+    if target_index is None:
+        target_index = len(depths) - 1
+    if depths[target_index] <= shared_depth_bytes:
+        return True
+    # A node-type change locks the parent as well (ROWEX §II-A); if that
+    # parent sits at shared depth the lock crosses buckets.
+    if record.node_type_changed and target_index > 0:
+        return depths[target_index - 1] <= shared_depth_bytes
+    return False

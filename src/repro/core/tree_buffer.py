@@ -1,0 +1,223 @@
+"""The value-aware Tree_buffer (paper §III-E).
+
+DCART caches ART nodes on chip in a 4 MB Tree_buffer.  Plain LRU would
+let the irregular traversal evict *high-value* nodes (the frequently
+traversed ones of Observation 2), so DCART replaces by **value**: the
+value of a node approximates how many pending operations will touch it —
+"the number of the operations in the corresponding bucket", known right
+after combining.  On a full buffer, a node is admitted only if its value
+exceeds the current minimum, evicting that minimum — so the hot subtree
+is pinned for the whole batch and cache thrashing on high-value nodes is
+impossible by construction.
+
+Implementation: a dict for O(1) probes plus a lazy min-heap of
+``(value, address)`` entries; superseded heap entries are skipped on pop.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigError
+
+
+class ValueAwareTreeBuffer:
+    """Byte-budgeted node cache with value-based replacement.
+
+    Eviction order is (value, recency): the victim is the least recently
+    used node among those with the lowest value.  The paper specifies
+    the value rule ("evict the node with the lowest value"); the LRU
+    tie-break is our refinement for the common case where many nodes of
+    one bucket share the same value estimate.
+    """
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ConfigError(f"capacity must be positive: {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        # addr -> (value, seq, size); heap of (value, seq, addr), lazy.
+        self._resident: Dict[int, Tuple[float, int, int]] = {}
+        self._heap: list = []
+        self._seq = 0
+        self.used_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.rejected_inserts = 0
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._resident
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _set(self, address: int, value: float, size: int) -> None:
+        seq = self._next_seq()
+        self._resident[address] = (value, seq, size)
+        heapq.heappush(self._heap, (value, seq, address))
+
+    def lookup(self, address: int) -> bool:
+        """Probe the buffer for a node fetch (refreshes recency)."""
+        entry = self._resident.get(address)
+        if entry is not None:
+            self.hits += 1
+            self._set(address, entry[0], entry[2])
+            return True
+        self.misses += 1
+        return False
+
+    def value_of(self, address: int) -> Optional[float]:
+        entry = self._resident.get(address)
+        return entry[0] if entry else None
+
+    def set_value(self, address: int, value: float) -> None:
+        """Re-estimate a resident node's value (new batch, new buckets)."""
+        entry = self._resident.get(address)
+        if entry is None:
+            return
+        self._set(address, value, entry[2])
+
+    def admit(self, address: int, size_bytes: int, value: float) -> bool:
+        """Offer a fetched node to the buffer; returns True if cached.
+
+        Free space admits unconditionally; a full buffer admits only
+        when ``value`` is at least the current lowest resident value,
+        evicting lowest-value (then least-recent) residents to make room
+        (SIII-E's Value_x > Value_low rule, with >= so same-value nodes
+        rotate instead of freezing the buffer).
+        """
+        if size_bytes <= 0:
+            raise ConfigError(f"node size must be positive: {size_bytes}")
+        if size_bytes > self.capacity_bytes:
+            raise ConfigError(
+                f"node of {size_bytes} B exceeds Tree_buffer capacity"
+            )
+        existing = self._resident.get(address)
+        if existing is not None:
+            self.used_bytes += size_bytes - existing[2]
+            self._set(address, max(existing[0], value), size_bytes)
+            return True
+
+        while self.used_bytes + size_bytes > self.capacity_bytes:
+            victim = self._pop_lowest()
+            if victim is None:
+                break
+            victim_value, victim_seq, victim_addr = victim
+            if victim_value > value:
+                # The newcomer is strictly colder than everything
+                # resident (Value_x <= Value_low): do not thrash.
+                heapq.heappush(
+                    self._heap, (victim_value, victim_seq, victim_addr)
+                )
+                self.rejected_inserts += 1
+                return False
+            size = self._resident.pop(victim_addr)[2]
+            self.used_bytes -= size
+            self.evictions += 1
+
+        self.used_bytes += size_bytes
+        self._set(address, value, size_bytes)
+        return True
+
+    def _pop_lowest(self) -> Optional[Tuple[float, int, int]]:
+        """Lowest-(value, recency) live entry, skipping stale records."""
+        while self._heap:
+            value, seq, address = heapq.heappop(self._heap)
+            current = self._resident.get(address)
+            if current is not None and current[0] == value and current[1] == seq:
+                return value, seq, address
+        return None
+
+    def invalidate(self, address: int) -> bool:
+        """Drop a node (it was freed by a split/merge/grow)."""
+        entry = self._resident.pop(address, None)
+        if entry is None:
+            return False
+        self.used_bytes -= entry[2]
+        return True
+
+    def decay(self, factor: float = 0.5) -> None:
+        """Age every resident value (called once per batch).
+
+        Bucket op counts are per-batch estimates; without aging, a node
+        admitted during one hot batch would out-rank every later batch's
+        nodes forever.  Exponential decay keeps persistent hot nodes
+        resident (their values are refreshed by each batch's hits) while
+        letting one-batch wonders drain out - the hardware analogue is a
+        periodic right-shift of the value registers.
+        """
+        if not 0 < factor <= 1:
+            raise ConfigError(f"decay factor must be in (0, 1]: {factor}")
+        if factor == 1.0:
+            return
+        self._heap = []
+        for address, (value, seq, size) in list(self._resident.items()):
+            aged = value * factor
+            self._resident[address] = (aged, seq, size)
+            heapq.heappush(self._heap, (aged, seq, address))
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+
+class LruTreeBuffer:
+    """LRU node cache with the same interface as the value-aware buffer.
+
+    This is the ablation counterpart of :class:`ValueAwareTreeBuffer`
+    (``DCARTConfig(value_aware_tree_buffer=False)``): node values are
+    ignored and plain recency decides eviction, which lets a cold burst
+    flush the hot subtree — exactly the thrashing §III-E argues against.
+    """
+
+    def __init__(self, capacity_bytes: int):
+        from repro.core.lru_buffer import LruBuffer
+
+        self._lru = LruBuffer(capacity_bytes)
+        self.capacity_bytes = capacity_bytes
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._lru
+
+    def lookup(self, address: int) -> bool:
+        return self._lru.lookup(address)
+
+    def admit(self, address: int, size_bytes: int, value: float) -> bool:
+        self._lru.insert(address, size_bytes)
+        return True
+
+    def set_value(self, address: int, value: float) -> None:
+        """LRU ignores values (interface parity)."""
+
+    def decay(self, factor: float = 0.5) -> None:
+        """LRU has no values to age (interface parity)."""
+
+    def invalidate(self, address: int) -> bool:
+        return self._lru.remove(address)
+
+    @property
+    def hits(self) -> int:
+        return self._lru.hits
+
+    @property
+    def misses(self) -> int:
+        return self._lru.misses
+
+    @property
+    def evictions(self) -> int:
+        return self._lru.evictions
+
+    @property
+    def hit_rate(self) -> float:
+        return self._lru.hit_rate

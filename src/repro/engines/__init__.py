@@ -1,0 +1,39 @@
+"""Execution engines: the paper's baselines plus the software CTT.
+
+Every engine consumes the same :class:`~repro.workloads.ops.Workload`,
+executes the operations against a *real* instrumented ART (from
+:mod:`repro.art`) so that all functional effects and traversal traces are
+exact, and then prices the run with its platform's calibrated cost model:
+
+* :class:`ArtRowexEngine`   — ART [9]: operation-centric, ROWEX node locks;
+* :class:`HeartEngine`      — Heart [17]: operation-centric, CAS-based;
+* :class:`SmartEngine`      — SMART [11] ported to shared memory:
+  CAS-based plus path-reservation caching (the best CPU baseline);
+* :class:`CuArtEngine`      — CuART [6]: GPU batches, sorted warps,
+  lockstep divergence, global-memory atomics;
+* :class:`DcartCEngine`     — DCART-C: the paper's software-only CTT
+  implementation (combining + shortcuts, bucket-limited parallelism).
+
+The DCART accelerator itself lives in :mod:`repro.core`.
+"""
+
+from repro.engines.base import Engine, RunResult, TimeBreakdown, apply_operation
+from repro.engines.art_rowex import ArtRowexEngine
+from repro.engines.heart import HeartEngine
+from repro.engines.smart import SmartEngine
+from repro.engines.cuart import CuArtEngine
+from repro.engines.dcart_c import DcartCEngine
+from repro.engines.olc import OlcEngine
+
+__all__ = [
+    "ArtRowexEngine",
+    "CuArtEngine",
+    "DcartCEngine",
+    "Engine",
+    "HeartEngine",
+    "OlcEngine",
+    "RunResult",
+    "SmartEngine",
+    "TimeBreakdown",
+    "apply_operation",
+]

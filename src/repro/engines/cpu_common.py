@@ -1,0 +1,275 @@
+"""Shared machinery for the operation-centric CPU baselines.
+
+ART [9], Heart [17], and SMART [11] differ in synchronisation scheme and
+in how much traversal they can skip, but share the execution shape: every
+operation individually walks the tree on one of 96 threads, through the
+shared last-level cache, and synchronises on the node it modifies.  This
+module prices that shape:
+
+1. each traversal trace is replayed through an LLC model to split node
+   fetches into cache hits and DRAM misses;
+2. engine hooks may *skip* leading path levels (SMART's path reservation
+   cache) and choose the synchronisation cost (ROWEX lock vs. CAS);
+3. the wave model (:mod:`repro.concurrency.waves`) converts per-op costs
+   and conflict targets into serialisation time and contention counts;
+4. elapsed time is ``max(compute-parallel, DRAM-bandwidth) +
+   serialisation`` — the same "whichever resource saturates first" bound
+   the paper's Challenge 1/2 analysis describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+import numpy as np
+
+from repro.art.stats import TraversalRecord, lines_for, CACHE_LINE_BYTES
+from repro.art.tree import AdaptiveRadixTree
+from repro.concurrency.cas import CasCostModel
+from repro.concurrency.locks import RowexLockTable
+from repro.concurrency.waves import WaveSimulator
+from repro.engines.base import Engine, RunResult, TimeBreakdown
+from repro.memsim.cache import SetAssociativeCache
+from repro.model.costs import CpuCosts, DEFAULT_CPU_COSTS
+from repro.model.platform import CPU_PLATFORM, Platform
+from repro.workloads.ops import Workload
+
+
+@dataclass
+class PricedOp:
+    """One operation after cost assignment."""
+
+    target: int          # conflict-group node (what a lock would protect)
+    is_write: bool
+    service_ns: float    # total lock-free service time
+    hold_ns: float       # critical-section part of the service
+    traverse_ns: float
+    sync_ns: float
+    other_ns: float
+
+
+class CpuOperationCentricEngine(Engine):
+    """Base for the three CPU baselines; subclasses set the knobs."""
+
+    #: "lock" (ROWEX write locks) or "cas" (atomic compare-and-swap).
+    sync_scheme = "lock"
+    #: Number of leading path levels servable from a path cache (0 = none).
+    path_cache_levels = 0
+    #: Entries in the path cache (per engine instance).
+    path_cache_entries = 4096
+    #: Bytes of the key used as the path-cache tag.
+    path_cache_tag_bytes = 2
+    #: Per-waiter queueing penalty (ns).  Lock convoys (ROWEX) cost far
+    #: more per waiter than optimistic CAS retry loops, which is the
+    #: main reason ART trails Heart/SMART in the paper's Figs. 2 and 9.
+    contention_penalty_ns: float = None  # None = the CpuCosts default
+    #: Optimistic readers (OLC) re-traverse on conflict instead of
+    #: waiting; when set, every conflicted reader re-pays the average
+    #: traversal once.
+    reader_restart = False
+
+    def __init__(
+        self,
+        platform: Platform = CPU_PLATFORM,
+        costs: CpuCosts = DEFAULT_CPU_COSTS,
+    ):
+        super().__init__(platform)
+        if self.contention_penalty_ns is not None:
+            costs = replace(costs, contention_penalty_ns=self.contention_penalty_ns)
+        self.costs = costs
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        workload: Workload,
+        tree: Optional[AdaptiveRadixTree] = None,
+        records: Optional[List[TraversalRecord]] = None,
+    ) -> RunResult:
+        if records is None:
+            if tree is None:
+                tree = self.build_tree(workload)
+            records = self.collect_records(tree, workload)
+        result = self._new_result(workload)
+
+        llc = SetAssociativeCache(self.costs.llc_bytes, ways=16)
+        cas = CasCostModel()
+        locks = RowexLockTable()
+        path_cache: dict = {}
+
+        priced: List[PricedOp] = []
+        effective_matches = 0
+        nodes_visited = 0
+        seen_nodes = set()
+        bytes_fetched = bytes_used = 0
+        dram_lines = 0
+
+        for record in records:
+            touches = record.touches
+            skipped = self._path_cache_skip(path_cache, record)
+            effective = touches[skipped:]
+
+            traverse_ns = 0.0
+            for touch in effective:
+                hits, misses = llc.access(touch.address, touch.fetch_bytes)
+                dram_lines += misses
+                if misses:
+                    traverse_ns += self.costs.node_fetch_dram_ns
+                else:
+                    traverse_ns += self.costs.node_fetch_cached_ns
+                if touch.kind != "Leaf":
+                    traverse_ns += self.costs.key_match_ns
+                nodes_visited += 1
+                seen_nodes.add(touch.node_id)
+                result.node_access_counts[touch.node_id] += 1
+                bytes_fetched += touch.fetch_lines * CACHE_LINE_BYTES
+                bytes_used += touch.used_bytes
+
+            inner_effective = sum(1 for t in effective if t.kind != "Leaf")
+            effective_matches += inner_effective
+
+            other_ns = self.costs.leaf_op_ns
+            if record.structure_modified:
+                other_ns += self.costs.structure_op_ns
+
+            is_write = record.op_kind in ("write", "delete")
+            sync_ns = 0.0
+            if is_write:
+                target_addr = record.target_address
+                target_cached = (
+                    llc.contains(target_addr) if target_addr is not None else False
+                )
+                if self.sync_scheme == "lock":
+                    sync_ns = self.costs.lock_uncontended_ns
+                    locks.lock_for_write(
+                        record.target_node_id or -1,
+                        waiting_behind=0,  # queueing handled by the wave model
+                        changes_node_type=record.node_type_changed,
+                        parent_id=record.parent_node_id,
+                    )
+                    if record.node_type_changed:
+                        sync_ns += self.costs.lock_uncontended_ns
+                else:
+                    sync_ns = cas.cost_ns(line_cached=target_cached)
+                    if record.node_type_changed:
+                        sync_ns += cas.cost_ns(line_cached=target_cached)
+
+            service_ns = traverse_ns + sync_ns + other_ns
+            hold_ns = sync_ns + other_ns
+            target = record.target_node_id
+            if target is None:
+                target = -1 - (len(priced) % 997)  # misses conflict with nobody
+            priced.append(
+                PricedOp(
+                    target=target,
+                    is_write=is_write,
+                    service_ns=service_ns,
+                    hold_ns=hold_ns,
+                    traverse_ns=traverse_ns,
+                    sync_ns=sync_ns,
+                    other_ns=other_ns,
+                )
+            )
+
+        result.partial_key_matches = effective_matches
+        result.nodes_visited = nodes_visited
+        result.distinct_nodes_visited = len(seen_nodes)
+        result.bytes_fetched = bytes_fetched
+        result.bytes_used = bytes_used
+        result.cache_hit_rate = llc.stats.hit_rate
+
+        self._price_run(result, priced, dram_lines, locks, cas)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _path_cache_skip(self, cache: dict, record: TraversalRecord) -> int:
+        """Leading touches served by the engine's path cache (0 if none).
+
+        The cache maps a short key tag to the node-id path its last
+        traversal took through the top levels; a hit lets the next
+        operation with the same tag start below those levels.  Skips are
+        validated against the current trace, so a stale entry (structure
+        changed underneath) degrades to a shorter skip, never to a wrong
+        one — mirroring SMART's read-delegation validation.
+        """
+        if self.path_cache_levels <= 0:
+            return 0
+        key = record.key[: self.path_cache_tag_bytes]
+        path = record.node_ids
+        cached = cache.get(key)
+        skipped = 0
+        if cached is not None:
+            limit = min(len(cached), max(0, len(path) - 1))
+            while skipped < limit and cached[skipped] == path[skipped]:
+                skipped += 1
+        if len(cache) >= self.path_cache_entries and key not in cache:
+            cache.pop(next(iter(cache)))
+        cache[key] = path[: self.path_cache_levels]
+        return skipped
+
+    def _price_run(
+        self,
+        result: RunResult,
+        priced: List[PricedOp],
+        dram_lines: int,
+        locks: RowexLockTable,
+        cas: CasCostModel,
+    ) -> None:
+        costs = self.costs
+        simulator = WaveSimulator(
+            n_workers=costs.n_threads,
+            window=costs.window,
+            contention_penalty_ns=costs.contention_penalty_ns,
+            spin_wait=True,
+        )
+        report = simulator.run(
+            targets=[p.target for p in priced],
+            is_write=[p.is_write for p in priced],
+            cost_ns=[p.service_ns for p in priced],
+            hold_ns=[p.hold_ns for p in priced],
+            collect_latencies=True,
+        )
+
+        threads = costs.n_threads
+        traverse_total = sum(p.traverse_ns for p in priced) * 1e-9
+        sync_total = sum(p.sync_ns for p in priced) * 1e-9
+        other_total = sum(p.other_ns for p in priced) * 1e-9
+
+        restart_seconds = 0.0
+        if self.reader_restart and priced and report.conflicted_readers:
+            # Each conflicted reader re-walks from the root: re-pay the
+            # mean traversal once per restart (restarted walks are warm,
+            # so the mean — not the tail — is the right price).
+            mean_traverse = traverse_total / len(priced)
+            restart_seconds = report.conflicted_readers * mean_traverse
+            sync_total += restart_seconds
+
+        parallel = (traverse_total + sync_total + other_total) / threads
+        bandwidth_seconds = (
+            dram_lines * CACHE_LINE_BYTES / (costs.dram_bandwidth_gb_s * 1e9)
+        )
+        base = max(parallel, bandwidth_seconds)
+        elapsed = base + report.serialization_seconds
+
+        result.breakdown = TimeBreakdown(
+            traverse_seconds=traverse_total / threads + max(0.0, base - parallel),
+            sync_seconds=sync_total / threads + report.serialization_seconds,
+            other_seconds=other_total / threads,
+        )
+        result.elapsed_seconds = elapsed
+        result.lock_contentions = report.contentions
+        if self.sync_scheme == "lock":
+            result.lock_acquisitions = locks.accounting.acquisitions
+        else:
+            result.lock_acquisitions = cas.total_cas
+        result.latencies_ns = np.asarray(report.latencies_ns)
+        result.energy_joules = self.platform.energy_joules(elapsed)
+        result.extra["windows"] = report.n_windows
+        result.extra["serialization_seconds"] = report.serialization_seconds
+        result.extra["bandwidth_seconds"] = bandwidth_seconds
+        result.extra["dram_lines"] = dram_lines
+        result.extra["read_restarts"] = (
+            report.conflicted_readers if self.reader_restart else 0
+        )

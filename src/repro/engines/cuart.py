@@ -1,0 +1,207 @@
+"""The CuART [6] baseline: a GPU batch lookup/update engine (A100 model).
+
+CuART ships operations to the GPU in large batches.  We model the three
+effects that define its behaviour in the paper's figures:
+
+* **sorted batches** — CuART sorts each batch by key so neighbouring
+  lanes walk neighbouring paths.  Consecutive sorted operations share
+  their leading path levels (and duplicate keys share everything), which
+  is why CuART performs fewer partial-key matches than ART in Fig. 8 —
+  but the sharing is *within one batch only*; nothing is remembered
+  across batches, unlike DCART's shortcuts.
+* **warp lockstep** — 32 lanes retire together, so a warp pays its
+  slowest lane, inflated by a divergence factor for the data-dependent
+  branching of tree descent (§II-C's "low instruction-level parallelism"
+  argument, which on a GPU becomes divergence).
+* **global-memory atomics** — concurrent writes to one node serialise
+  through HBM atomics; each batch is one big concurrency window, so hot
+  nodes queue thousands of lanes (CuART's residual in Fig. 7).
+
+Each batch additionally pays a kernel-launch overhead, and batch time is
+``launch + max(compute, HBM bandwidth, hottest-node serialisation)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.art.stats import CACHE_LINE_BYTES, lines_for
+from repro.art.tree import AdaptiveRadixTree
+from repro.engines.base import Engine, RunResult, TimeBreakdown
+from repro.memsim.cache import SetAssociativeCache
+from repro.model.costs import DEFAULT_GPU_COSTS, GpuCosts
+from repro.model.platform import GPU_PLATFORM, Platform
+from repro.workloads.ops import Workload
+
+
+class CuArtEngine(Engine):
+    """CuART on the A100: sorted batches, warp lockstep, HBM atomics."""
+
+    name = "CuART"
+
+    def __init__(
+        self,
+        platform: Platform = GPU_PLATFORM,
+        costs: GpuCosts = DEFAULT_GPU_COSTS,
+    ):
+        super().__init__(platform)
+        self.costs = costs
+
+    def run(
+        self,
+        workload: Workload,
+        tree: Optional[AdaptiveRadixTree] = None,
+        records: Optional[List] = None,
+    ) -> RunResult:
+        if records is None:
+            if tree is None:
+                tree = self.build_tree(workload)
+            records = self.collect_records(tree, workload)
+        result = self._new_result(workload)
+        costs = self.costs
+
+        l2 = SetAssociativeCache(costs.l2_bytes, ways=16)
+        latencies = np.zeros(len(records))
+        seen_nodes = set()
+        matches = nodes_visited = 0
+        bytes_fetched = bytes_used = 0
+        traverse_total_ns = sync_total_ns = other_total_ns = 0.0
+        serialization_ns = launch_total_ns = 0.0
+        contentions = 0
+        elapsed = 0.0
+        hbm_lines_total = 0
+
+        batch_size = costs.window
+        for start in range(0, len(records), batch_size):
+            batch = list(range(start, min(start + batch_size, len(records))))
+            # CuART sorts the batch by key before launching the kernel.
+            batch.sort(key=lambda i: records[i].key)
+
+            op_cost_ns = {}
+            hold_ns = {}
+            hbm_lines = 0
+            for i in batch:
+                record = records[i]
+                # CuART replaces the root level with a flat dispatch
+                # table over the first key byte in constant memory; every
+                # deeper level is still walked per operation — the
+                # redundant traversals the paper attributes to it (§V).
+                skip = 1 if len(record.touches) > 1 else 0
+                effective = record.touches[skip:]
+
+                traverse_ns = 0.0
+                for touch in effective:
+                    hits, misses = l2.access(touch.address, touch.fetch_bytes)
+                    hbm_lines += misses
+                    if misses:
+                        traverse_ns += costs.node_fetch_hbm_ns
+                    else:
+                        traverse_ns += costs.node_fetch_l2_ns
+                    if touch.kind != "Leaf":
+                        traverse_ns += costs.key_match_ns
+                        matches += 1
+                    nodes_visited += 1
+                    seen_nodes.add(touch.node_id)
+                    result.node_access_counts[touch.node_id] += 1
+                    bytes_fetched += touch.fetch_lines * CACHE_LINE_BYTES
+                    bytes_used += touch.used_bytes
+
+                is_write = record.op_kind in ("write", "delete")
+                sync_ns = costs.atomic_uncontended_ns if is_write else 0.0
+                if is_write and record.node_type_changed:
+                    sync_ns += costs.atomic_uncontended_ns
+                other_ns = costs.leaf_op_ns
+
+                op_cost_ns[i] = traverse_ns + sync_ns + other_ns
+                hold_ns[i] = sync_ns + other_ns
+                traverse_total_ns += traverse_ns
+                sync_total_ns += sync_ns
+                other_total_ns += other_ns
+
+            # Warp lockstep: 32 consecutive sorted lanes pay the slowest.
+            warp_total_ns = 0.0
+            for w_start in range(0, len(batch), costs.warp_width):
+                warp = batch[w_start : w_start + costs.warp_width]
+                warp_cost = max(op_cost_ns[i] for i in warp)
+                warp_cost *= costs.divergence_factor
+                warp_total_ns += warp_cost * len(warp) / costs.warp_width
+                for i in warp:
+                    latencies[i] = warp_cost
+
+            compute_ns = warp_total_ns * costs.warp_width / (
+                costs.concurrent_warps * costs.warp_width
+            )
+
+            # Atomic serialisation on shared nodes across the whole batch.
+            groups: Dict[int, Tuple[List[int], int]] = {}
+            for i in batch:
+                record = records[i]
+                target = record.target_node_id
+                if target is None:
+                    continue
+                indices, writers = groups.setdefault(target, ([], 0))
+                indices.append(i)
+                if record.op_kind in ("write", "delete"):
+                    groups[target] = (indices, writers + 1)
+            slowest_serial_ns = 0.0
+            spin_ns = 0.0
+            for target, (indices, writers) in groups.items():
+                if len(indices) > 1 and writers > 0:
+                    contentions += len(indices) - 1
+                    serial = sum(hold_ns[i] for i in indices) + (
+                        len(indices) - 1
+                    ) * costs.contention_penalty_ns
+                    slowest_serial_ns = max(slowest_serial_ns, serial)
+                    queued = 0.0
+                    for i in indices:
+                        latencies[i] += queued
+                        spin_ns += queued  # the lane spins while queued
+                        queued += hold_ns[i] + costs.contention_penalty_ns
+
+            hbm_lines_total += hbm_lines
+            bandwidth_ns = (
+                hbm_lines * CACHE_LINE_BYTES / (costs.hbm_bandwidth_gb_s * 1e9) * 1e9
+            )
+            launch_ns = costs.kernel_launch_us * 1e3
+            # Queued lanes keep their warps resident and spinning, so the
+            # wasted lane-time competes with useful compute.
+            lanes = costs.concurrent_warps * costs.warp_width
+            compute_ns += spin_ns / lanes
+            serialization_ns += spin_ns / lanes
+            base_ns = max(compute_ns, bandwidth_ns)
+            serialization_ns += max(0.0, slowest_serial_ns - base_ns)
+            batch_ns = launch_ns + max(base_ns, slowest_serial_ns)
+            latencies[batch] += launch_ns
+            elapsed += batch_ns * 1e-9
+            launch_total_ns += launch_ns
+
+        parallel_units = costs.concurrent_warps * costs.warp_width
+        result.elapsed_seconds = elapsed
+        sync_seconds = (
+            sync_total_ns / parallel_units + serialization_ns
+        ) * 1e-9
+        other_seconds = (
+            other_total_ns / parallel_units + launch_total_ns
+        ) * 1e-9
+        traverse_seconds = max(0.0, elapsed - sync_seconds - other_seconds)
+        result.breakdown = TimeBreakdown(
+            traverse_seconds=traverse_seconds,
+            sync_seconds=min(sync_seconds, elapsed),
+            other_seconds=min(other_seconds, max(0.0, elapsed - sync_seconds)),
+        )
+        result.partial_key_matches = matches
+        result.nodes_visited = nodes_visited
+        result.distinct_nodes_visited = len(seen_nodes)
+        result.bytes_fetched = bytes_fetched
+        result.bytes_used = bytes_used
+        result.cache_hit_rate = l2.stats.hit_rate
+        result.lock_contentions = contentions
+        result.lock_acquisitions = sum(
+            1 for r in records if r.op_kind in ("write", "delete")
+        )
+        result.latencies_ns = latencies
+        result.energy_joules = self.platform.energy_joules(elapsed)
+        result.extra["hbm_lines"] = hbm_lines_total
+        return result

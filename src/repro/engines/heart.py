@@ -1,0 +1,24 @@
+"""The Heart [17] baseline: CAS-based concurrency control.
+
+Heart replaces ROWEX's node locks with compare-and-swap loops (its
+PM-friendly node layout is orthogonal to what this evaluation measures).
+CAS removes the lock words but not the contention: the atomics mostly
+land on RAM-resident lines — the paper cites a >15× penalty for exactly
+that case [21] — so Heart improves on ART without changing the shape of
+the problem, matching its position in Figs. 2 and 7–9.
+"""
+
+from __future__ import annotations
+
+from repro.engines.cpu_common import CpuOperationCentricEngine
+
+
+class HeartEngine(CpuOperationCentricEngine):
+    """Heart: operation-centric traversal, CAS writers, no path cache."""
+
+    name = "Heart"
+    sync_scheme = "cas"
+    path_cache_levels = 0
+    # CAS retry loops: cheaper per waiter than lock convoys, but each
+    # retry still pays the RAM-resident-line round trip.
+    contention_penalty_ns = 220.0

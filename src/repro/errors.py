@@ -1,0 +1,68 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so a
+caller embedding the simulator can catch one type.  The subtypes separate
+the three ways a simulation can go wrong: the caller handed us bad input
+(:class:`ConfigError`, :class:`KeyEncodingError`), the index was asked to do
+something impossible (:class:`TreeError` and friends), or an internal
+invariant of a hardware model was violated (:class:`SimulationError` — these
+indicate a bug in the simulator itself and are worth reporting).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is out of range or inconsistent.
+
+    Raised eagerly at construction time (e.g. a ``DCARTConfig`` with zero
+    SOUs, a cache with a non-power-of-two line size) so that a bad setup
+    never produces silently wrong numbers.
+    """
+
+
+class KeyEncodingError(ReproError):
+    """A key could not be encoded into binary-comparable form."""
+
+
+class TreeError(ReproError):
+    """Base class for Adaptive-Radix-Tree errors."""
+
+
+class KeyNotFoundError(TreeError, KeyError):
+    """A lookup/delete/update addressed a key that is not in the tree."""
+
+    def __init__(self, key: bytes):
+        super().__init__(key)
+        self.key = key
+
+    def __str__(self) -> str:  # KeyError quotes its arg; we want hex
+        return f"key not found: {self.key.hex()}"
+
+
+class DuplicateKeyError(TreeError):
+    """An insert addressed a key that is already present.
+
+    The ART API distinguishes ``insert`` (new key) from ``update``
+    (existing key); engines rely on the distinction to attribute
+    structure-modifying work correctly.
+    """
+
+    def __init__(self, key: bytes):
+        super().__init__(key)
+        self.key = key
+
+    def __str__(self) -> str:
+        return f"duplicate key: {self.key.hex()}"
+
+
+class SimulationError(ReproError):
+    """An internal invariant of a hardware model was violated."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification is invalid or cannot be generated."""

@@ -1,0 +1,49 @@
+"""Fixed-width text tables for benchmark output.
+
+The benchmarks print the same rows/series the paper's figures plot; this
+module renders them readably without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.errors import SimulationError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a list of rows as an aligned text table."""
+    materialised: List[List[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise SimulationError(
+                f"row width {len(row)} does not match headers {len(headers)}"
+            )
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        materialised.append(rendered)
+
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in materialised)
+    return "\n".join(lines)

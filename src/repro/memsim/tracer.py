@@ -1,0 +1,126 @@
+"""Memory-access tracing and reuse-distance analysis.
+
+The cache simulator answers "how did *this* cache do"; the tracer
+answers the design question behind it: "what cache *would* suffice?".
+It records an address stream at line granularity and computes **reuse
+distances** — for each access, the number of *distinct* lines touched
+since the previous access to the same line.  The reuse-distance
+histogram is the classic capacity-planning tool: a fully-associative
+LRU cache of C lines hits exactly the accesses with distance < C, so
+one trace prices every capacity at once (how the Table I buffer sizes
+would be chosen in practice).
+
+The implementation is the standard tree-over-time-stamps algorithm via a
+Fenwick tree: O(log n) per access.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError
+
+INFINITE = -1  # distance marker for first-ever accesses
+
+
+class _Fenwick:
+    """Binary indexed tree over access time stamps."""
+
+    __slots__ = ("size", "tree")
+
+    def __init__(self, size: int):
+        self.size = size
+        self.tree = [0] * (size + 1)
+
+    def add(self, index: int, delta: int) -> None:
+        index += 1
+        while index <= self.size:
+            self.tree[index] += delta
+            index += index & (-index)
+
+    def prefix_sum(self, index: int) -> int:
+        index += 1
+        total = 0
+        while index > 0:
+            total += self.tree[index]
+            index -= index & (-index)
+        return total
+
+
+class ReuseDistanceTracer:
+    """Streams line-granular accesses into reuse distances."""
+
+    def __init__(self, line_bytes: int = 64, max_accesses: int = 1 << 22):
+        if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+            raise ConfigError(f"line size must be a power of two: {line_bytes}")
+        if max_accesses <= 0:
+            raise ConfigError(f"max_accesses must be positive: {max_accesses}")
+        self.line_bytes = line_bytes
+        self.max_accesses = max_accesses
+        self._fenwick = _Fenwick(max_accesses)
+        self._last_time: Dict[int, int] = {}
+        self._clock = 0
+        self.distances: List[int] = []
+
+    def access(self, address: int, size_bytes: int = 1) -> None:
+        """Record an access; every spanned line is one trace event."""
+        if size_bytes <= 0:
+            raise ConfigError(f"access size must be positive: {size_bytes}")
+        first = address // self.line_bytes
+        last = (address + size_bytes - 1) // self.line_bytes
+        for line in range(first, last + 1):
+            self._access_line(line)
+
+    def _access_line(self, line: int) -> None:
+        if self._clock >= self.max_accesses:
+            raise ConfigError(
+                f"trace exceeds max_accesses={self.max_accesses}"
+            )
+        previous = self._last_time.get(line)
+        if previous is None:
+            self.distances.append(INFINITE)
+        else:
+            # Distinct lines since `previous` = live stamps in (prev, now).
+            later = self._fenwick.prefix_sum(self._clock - 1) - (
+                self._fenwick.prefix_sum(previous)
+            )
+            self.distances.append(later)
+            self._fenwick.add(previous, -1)
+        self._fenwick.add(self._clock, +1)
+        self._last_time[line] = self._clock
+        self._clock += 1
+
+    @property
+    def n_accesses(self) -> int:
+        return self._clock
+
+    @property
+    def n_distinct_lines(self) -> int:
+        return len(self._last_time)
+
+    def hit_rate_for_capacity(self, capacity_lines: int) -> float:
+        """Hit rate of a fully-associative LRU cache of that many lines."""
+        if capacity_lines <= 0:
+            raise ConfigError(f"capacity must be positive: {capacity_lines}")
+        if not self.distances:
+            return 0.0
+        hits = sum(
+            1 for d in self.distances if d != INFINITE and d < capacity_lines
+        )
+        return hits / len(self.distances)
+
+    def miss_ratio_curve(self, capacities: List[int]) -> Dict[int, float]:
+        """Miss ratio at each capacity (the MRC used for buffer sizing)."""
+        return {
+            c: 1.0 - self.hit_rate_for_capacity(c) for c in capacities
+        }
+
+    def working_set_lines(self, coverage: float = 0.99) -> int:
+        """Smallest LRU capacity covering ``coverage`` of *reused* accesses."""
+        if not 0 < coverage <= 1:
+            raise ConfigError(f"coverage must be in (0, 1]: {coverage}")
+        finite = sorted(d for d in self.distances if d != INFINITE)
+        if not finite:
+            return 0
+        index = min(len(finite) - 1, int(len(finite) * coverage))
+        return finite[index] + 1

@@ -1,0 +1,31 @@
+"""Calibrated platform cost models.
+
+Every latency, throughput, and power constant used by the engines lives
+in :mod:`repro.model.costs`, in one place, with its provenance: either a
+figure the paper itself cites (the 15× RAM-vs-L1 CAS slowdown), a public
+datasheet number (HBM bandwidth, clock rates), or a calibration target
+derived from the paper's reported ratios (platform power draws chosen so
+that energy-ratio / speedup-ratio matches Fig. 9 vs. Fig. 11).
+
+:mod:`repro.model.platform` wraps them into the three platform
+descriptors of the evaluation: the 2×48-core Xeon host, the A100 GPU,
+and the Alveo U280 FPGA.
+"""
+
+from repro.model.costs import CpuCosts, FpgaCosts, GpuCosts
+from repro.model.platform import (
+    CPU_PLATFORM,
+    FPGA_PLATFORM,
+    GPU_PLATFORM,
+    Platform,
+)
+
+__all__ = [
+    "CPU_PLATFORM",
+    "CpuCosts",
+    "FPGA_PLATFORM",
+    "FpgaCosts",
+    "GPU_PLATFORM",
+    "GpuCosts",
+    "Platform",
+]

@@ -1,0 +1,44 @@
+"""Workload generation (paper §IV-A).
+
+The paper evaluates six workloads: three real-world key sets — *IPGEO*
+(GeoLite2 IP→country records), *DICT* (English words), *EA* (e-mail
+addresses) — and three synthetic 8-byte-integer sets — *DE* (dense), *RS*
+(random sparse), *RD* (random dense) — each with 50 M keys and a
+configurable read/write operation mix (50/50 by default).
+
+We cannot ship the proprietary traces, so :mod:`repro.workloads.realworld`
+generates seeded synthetic equivalents that reproduce the *documented*
+distributional properties: the skewed per-prefix operation histograms of
+Fig. 3 (one hot prefix such as ``0x67`` receiving an order of magnitude
+more operations than the median) and the spatial concentration (a few
+percent of the nodes receiving almost all traversals).
+
+Use :func:`make_workload` as the single entry point:
+
+    wl = make_workload("IPGEO", n_keys=100_000, n_ops=200_000, seed=1)
+"""
+
+from repro.workloads.ops import (
+    OpKind,
+    Operation,
+    OperationStream,
+    Workload,
+)
+from repro.workloads.factory import WORKLOAD_NAMES, make_workload
+from repro.workloads.mixes import MIXES, OperationMix
+from repro.workloads.histogram import PrefixHistogram, concentration
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = [
+    "MIXES",
+    "OpKind",
+    "Operation",
+    "OperationMix",
+    "OperationStream",
+    "PrefixHistogram",
+    "WORKLOAD_NAMES",
+    "Workload",
+    "ZipfSampler",
+    "concentration",
+    "make_workload",
+]

@@ -1,0 +1,57 @@
+"""Read/write operation mixes (paper Fig. 12(b)).
+
+The paper's sensitivity study uses five mixes over *IPGEO*:
+
+    A — 100 % read                 D — 25 % read, 75 % write
+    B — 75 % read, 25 % write      E — 100 % write
+    C — 50 % read, 50 % write      (C is the default everywhere else)
+
+(These letters follow the paper's Fig. 12(b) definition, not the original
+YCSB core-workload letters.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class OperationMix:
+    """A read/write split; ratios must sum to 1."""
+
+    name: str
+    read_ratio: float
+    write_ratio: float
+
+    def __post_init__(self):
+        total = self.read_ratio + self.write_ratio
+        if abs(total - 1.0) > 1e-9:
+            raise WorkloadError(
+                f"mix {self.name!r} ratios sum to {total}, expected 1.0"
+            )
+        if self.read_ratio < 0 or self.write_ratio < 0:
+            raise WorkloadError(f"mix {self.name!r} has a negative ratio")
+
+
+MIXES = {
+    "A": OperationMix("A", read_ratio=1.00, write_ratio=0.00),
+    "B": OperationMix("B", read_ratio=0.75, write_ratio=0.25),
+    "C": OperationMix("C", read_ratio=0.50, write_ratio=0.50),
+    "D": OperationMix("D", read_ratio=0.25, write_ratio=0.75),
+    "E": OperationMix("E", read_ratio=0.00, write_ratio=1.00),
+}
+
+DEFAULT_MIX = MIXES["C"]
+
+
+def mix_for_write_ratio(write_ratio: float) -> OperationMix:
+    """Build an ad-hoc mix for a sweep over write ratios (Fig. 2(e))."""
+    if not 0 <= write_ratio <= 1:
+        raise WorkloadError(f"write ratio must be in [0, 1]: {write_ratio}")
+    return OperationMix(
+        name=f"w{write_ratio:.2f}",
+        read_ratio=1.0 - write_ratio,
+        write_ratio=write_ratio,
+    )

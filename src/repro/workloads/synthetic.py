@@ -1,0 +1,60 @@
+"""Synthetic 8-byte-integer key sets (paper §IV-A, after Leis et al. [9]).
+
+* **DE** — *dense*: keys ``0 .. n-1``, loaded in ascending order.  Dense
+  keys make the ART degenerate toward a traditional radix tree with full
+  N256 fan-out near the leaves and a long all-zero compressed prefix on
+  top.
+* **RD** — *random dense*: the same dense key set, loaded in random
+  order — same final structure as DE, different insertion churn.
+* **RS** — *random sparse*: ``n`` unique keys drawn uniformly from the
+  full 64-bit space; the tree is shallow (the first byte already spreads
+  keys over all 256 children) but paths are long in compressed-prefix
+  bytes.
+
+The paper uses 50 M keys; every generator here takes ``n_keys`` so the
+benchmarks can run scaled-down while keeping the distributions intact.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.art.keys import encode_u64
+from repro.errors import WorkloadError
+
+
+def dense_keys(n_keys: int) -> List[bytes]:
+    """DE: ``0..n-1`` ascending."""
+    _check(n_keys)
+    return [encode_u64(i) for i in range(n_keys)]
+
+
+def random_dense_keys(n_keys: int, rng: np.random.Generator) -> List[bytes]:
+    """RD: ``0..n-1`` in a random permutation."""
+    _check(n_keys)
+    order = rng.permutation(n_keys)
+    return [encode_u64(int(i)) for i in order]
+
+
+def random_sparse_keys(n_keys: int, rng: np.random.Generator) -> List[bytes]:
+    """RS: ``n`` unique uniform draws from ``[0, 2**64)``."""
+    _check(n_keys)
+    seen = set()
+    keys: List[bytes] = []
+    # Collisions are astronomically rare for realistic n, but the loop
+    # guarantees uniqueness regardless.
+    while len(keys) < n_keys:
+        need = n_keys - len(keys)
+        draws = rng.integers(0, 2**64, size=need, dtype=np.uint64)
+        for value in draws.tolist():
+            if value not in seen:
+                seen.add(value)
+                keys.append(encode_u64(value))
+    return keys
+
+
+def _check(n_keys: int) -> None:
+    if n_keys <= 0:
+        raise WorkloadError(f"n_keys must be positive: {n_keys}")

@@ -1,0 +1,89 @@
+"""Tests for the Markdown report and regression comparator."""
+
+import copy
+
+import pytest
+
+from repro.analysis import compare_matrices, markdown_report
+from repro.errors import SimulationError
+from repro.harness.runner import default_engines, run_matrix
+from repro.workloads import make_workload
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    wl = make_workload("DE", n_keys=800, n_ops=3000, seed=2)
+    return run_matrix(default_engines(800, include=["ART", "SMART", "DCART"]), [wl])
+
+
+class TestMarkdownReport:
+    def test_contains_workload_and_engines(self, matrix):
+        text = markdown_report(matrix)
+        assert "## DE" in text
+        for engine in ("ART", "SMART", "DCART"):
+            assert f"| {engine} |" in text
+
+    def test_band_section(self, matrix):
+        text = markdown_report(matrix)
+        assert "## Bands (vs. DCART)" in text
+        assert "speedup band" in text
+        assert "x-" in text  # "A.Bx-C.Dx" formatting
+
+    def test_engine_order_respected(self, matrix):
+        text = markdown_report(matrix, engine_order=["DCART", "ART", "SMART"])
+        lines = [l for l in text.splitlines() if l.startswith("| ")]
+        names = [l.split("|")[1].strip() for l in lines[1:4]]
+        assert names == ["DCART", "ART", "SMART"]
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(SimulationError):
+            markdown_report({})
+
+    def test_valid_markdown_table_shape(self, matrix):
+        text = markdown_report(matrix)
+        for line in text.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+
+class TestRegression:
+    def test_identical_matrices_clean(self, matrix):
+        assert compare_matrices(matrix, matrix) == []
+
+    def test_detects_time_drift(self, matrix):
+        drifted = copy.deepcopy(matrix)
+        drifted["DE"]["ART"].elapsed_seconds *= 1.25
+        findings = compare_matrices(matrix, drifted)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.engine == "ART"
+        assert finding.metric == "elapsed_seconds"
+        assert finding.relative_change == pytest.approx(0.25)
+        assert "ART" in str(finding)
+
+    def test_within_tolerance_ignored(self, matrix):
+        drifted = copy.deepcopy(matrix)
+        drifted["DE"]["ART"].elapsed_seconds *= 1.02  # under the 5% gate
+        assert compare_matrices(matrix, drifted) == []
+
+    def test_counter_drift_is_strict(self, matrix):
+        drifted = copy.deepcopy(matrix)
+        drifted["DE"]["SMART"].partial_key_matches += max(
+            1, matrix["DE"]["SMART"].partial_key_matches // 20
+        )
+        findings = compare_matrices(matrix, drifted)
+        assert any(f.metric == "partial_key_matches" for f in findings)
+
+    def test_sorted_by_magnitude(self, matrix):
+        drifted = copy.deepcopy(matrix)
+        drifted["DE"]["ART"].elapsed_seconds *= 1.10
+        drifted["DE"]["SMART"].elapsed_seconds *= 2.0
+        findings = compare_matrices(matrix, drifted)
+        assert findings[0].engine == "SMART"
+
+    def test_grid_mismatch_rejected(self, matrix):
+        smaller = {"DE": {"ART": matrix["DE"]["ART"]}}
+        with pytest.raises(SimulationError):
+            compare_matrices(matrix, smaller)
+        with pytest.raises(SimulationError):
+            compare_matrices(matrix, {})

@@ -1,0 +1,116 @@
+"""Tests for bottom-up bulk loading."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.art import AdaptiveRadixTree, encode_str, encode_u64
+from repro.art.bulk import bulk_load, structurally_equal
+from repro.errors import TreeError
+
+
+def incremental(pairs):
+    tree = AdaptiveRadixTree()
+    for key, value in pairs:
+        tree.insert(key, value)
+    return tree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = bulk_load([])
+        assert len(tree) == 0
+        assert tree.root is None
+
+    def test_single_pair(self):
+        tree = bulk_load([(b"abcd", 1)])
+        assert tree.search(b"abcd") == 1
+        assert len(tree) == 1
+
+    def test_small_sorted_run(self):
+        pairs = [(encode_u64(v), v) for v in range(100)]
+        tree = bulk_load(pairs)
+        assert len(tree) == 100
+        for key, value in pairs:
+            assert tree.search(key) == value
+        tree.validate()
+
+    def test_string_keys(self):
+        words = sorted(["art", "artful", "radix", "trie", "tree"])
+        pairs = [(encode_str(w), w) for w in words]
+        tree = bulk_load(pairs)
+        for key, value in pairs:
+            assert tree.search(key) == value
+        tree.validate()
+
+    def test_wide_fanout_builds_n256(self):
+        pairs = sorted((bytes([1, b, 0, 0]), b) for b in range(200))
+        tree = bulk_load(pairs)
+        assert tree.root.kind == "N256"
+        tree.validate()
+
+    def test_iteration_sorted(self):
+        pairs = [(encode_u64(v * 3), v) for v in range(500)]
+        tree = bulk_load(pairs)
+        assert [k for k, _ in tree.items()] == [k for k, _ in pairs]
+
+
+class TestValidation:
+    def test_unsorted_rejected(self):
+        with pytest.raises(TreeError):
+            bulk_load([(b"bb", 1), (b"aa", 2)])
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(TreeError):
+            bulk_load([(b"aa", 1), (b"aa", 2)])
+
+    def test_prefix_violation_rejected(self):
+        with pytest.raises(TreeError):
+            bulk_load([(b"aa", 1), (b"aab", 2)])
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(TreeError):
+            bulk_load([(b"", 1)])
+
+
+class TestStructuralEquivalence:
+    def test_matches_incremental_build_dense(self):
+        pairs = [(encode_u64(v), v) for v in range(300)]
+        bulk = bulk_load(pairs)
+        incr = incremental(pairs)
+        assert structurally_equal(bulk.root, incr.root)
+
+    def test_matches_incremental_build_strings(self):
+        words = sorted({f"w{i:03d}x" for i in range(64)} | {"a", "zz", "mid"})
+        pairs = [(encode_str(w), w) for w in words]
+        assert structurally_equal(bulk_load(pairs).root, incremental(pairs).root)
+
+    def test_structurally_equal_detects_difference(self):
+        a = bulk_load([(b"aaaa", 1), (b"aaab", 2)])
+        b = bulk_load([(b"aaaa", 1), (b"aaab", 3)])
+        assert not structurally_equal(a.root, b.root)
+
+    def test_fewer_allocations_than_incremental(self):
+        # The point of bulk loading: no intermediate node growth.
+        pairs = [(bytes([1, b, 0, 0]), b) for b in range(256)]
+        bulk = bulk_load(pairs)
+        incr = incremental(pairs)
+        assert bulk.stats.node_allocations < incr.stats.node_allocations
+        assert bulk.stats.node_growths == 0
+
+
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=2**48).map(encode_u64),
+        unique=True,
+        min_size=1,
+        max_size=300,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_bulk_equals_incremental_property(keys):
+    pairs = [(key, key.hex()) for key in sorted(keys)]
+    bulk = bulk_load(pairs)
+    incr = incremental(pairs)
+    bulk.validate()
+    assert structurally_equal(bulk.root, incr.root)
+    assert dict(bulk.items()) == dict(incr.items())

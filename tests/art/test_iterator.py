@@ -1,0 +1,158 @@
+"""Tests for seekable cursors and k-way merge."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.art import AdaptiveRadixTree, encode_str, encode_u64
+from repro.art.iterator import TreeCursor, merge_cursors
+from repro.errors import TreeError
+
+
+@pytest.fixture
+def tree():
+    t = AdaptiveRadixTree()
+    for v in range(0, 200, 2):  # even values 0..198
+        t.insert(encode_u64(v), v)
+    return t
+
+
+class TestFirstAndIteration:
+    def test_first_positions_at_minimum(self, tree):
+        cursor = TreeCursor(tree).first()
+        assert cursor.valid
+        assert cursor.value == 0
+
+    def test_full_iteration_sorted(self, tree):
+        got = [v for _, v in TreeCursor(tree).first()]
+        assert got == list(range(0, 200, 2))
+
+    def test_empty_tree(self):
+        cursor = TreeCursor(AdaptiveRadixTree()).first()
+        assert not cursor.valid
+        assert list(cursor) == []
+
+    def test_single_key(self):
+        t = AdaptiveRadixTree()
+        t.insert(encode_u64(5), "x")
+        cursor = TreeCursor(t).first()
+        assert cursor.key == encode_u64(5)
+        assert not cursor.step()
+        assert not cursor.valid
+
+
+class TestSeek:
+    def test_seek_exact(self, tree):
+        cursor = TreeCursor(tree).seek(encode_u64(100))
+        assert cursor.value == 100
+
+    def test_seek_between_keys(self, tree):
+        cursor = TreeCursor(tree).seek(encode_u64(101))
+        assert cursor.value == 102
+
+    def test_seek_before_minimum(self, tree):
+        assert TreeCursor(tree).seek(encode_u64(0)).value == 0
+
+    def test_seek_past_maximum(self, tree):
+        cursor = TreeCursor(tree).seek(encode_u64(10**9))
+        assert not cursor.valid
+
+    def test_seek_then_iterate(self, tree):
+        cursor = TreeCursor(tree).seek(encode_u64(190))
+        assert [v for _, v in cursor] == [190, 192, 194, 196, 198]
+
+    def test_seek_string_keys(self):
+        t = AdaptiveRadixTree()
+        for word in ("apple", "banana", "cherry"):
+            t.insert(encode_str(word), word)
+        assert TreeCursor(t).seek(encode_str("b")[:-1]).value == "banana"
+
+    def test_reseek_reuses_cursor(self, tree):
+        cursor = TreeCursor(tree)
+        assert cursor.seek(encode_u64(50)).value == 50
+        assert cursor.seek(encode_u64(10)).value == 10
+
+
+class TestPagination:
+    def test_take(self, tree):
+        cursor = TreeCursor(tree).seek(encode_u64(20))
+        page = cursor.take(5)
+        assert [v for _, v in page] == [20, 22, 24, 26, 28]
+
+    def test_take_past_end(self, tree):
+        cursor = TreeCursor(tree).seek(encode_u64(196))
+        assert len(cursor.take(10)) == 2
+
+    def test_take_negative_rejected(self, tree):
+        with pytest.raises(TreeError):
+            TreeCursor(tree).first().take(-1)
+
+
+class TestInvalidation:
+    def test_structural_change_detected(self, tree):
+        cursor = TreeCursor(tree).first()
+        tree.insert(encode_u64(1), "odd")  # splits a leaf
+        assert cursor.invalidated()
+        with pytest.raises(TreeError):
+            cursor.step()
+
+    def test_value_update_does_not_invalidate(self, tree):
+        cursor = TreeCursor(tree).first()
+        tree.update(encode_u64(100), "new")
+        assert not cursor.invalidated()
+        assert cursor.step()
+
+    def test_unpositioned_access_raises(self, tree):
+        cursor = TreeCursor(tree)
+        with pytest.raises(TreeError):
+            cursor.key
+
+
+class TestMerge:
+    def test_two_trees_merge_sorted(self):
+        evens, odds = AdaptiveRadixTree(), AdaptiveRadixTree()
+        for v in range(0, 20, 2):
+            evens.insert(encode_u64(v), v)
+        for v in range(1, 20, 2):
+            odds.insert(encode_u64(v), v)
+        merged = merge_cursors([TreeCursor(evens).first(), TreeCursor(odds).first()])
+        assert [v for _, v in merged] == list(range(20))
+
+    def test_duplicate_keys_stable(self):
+        a, b = AdaptiveRadixTree(), AdaptiveRadixTree()
+        a.insert(encode_u64(7), "from-a")
+        b.insert(encode_u64(7), "from-b")
+        merged = list(merge_cursors([TreeCursor(a).first(), TreeCursor(b).first()]))
+        assert [v for _, v in merged] == ["from-a", "from-b"]
+
+    def test_empty_inputs(self):
+        assert list(merge_cursors([])) == []
+        empty = TreeCursor(AdaptiveRadixTree()).first()
+        assert list(merge_cursors([empty])) == []
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=2**32).map(encode_u64), unique=True, min_size=1),
+    st.integers(min_value=0, max_value=2**32).map(encode_u64),
+)
+@settings(max_examples=60, deadline=None)
+def test_seek_matches_sorted_bisect(keys, probe):
+    tree = AdaptiveRadixTree()
+    for key in keys:
+        tree.insert(key, None)
+    cursor = TreeCursor(tree).seek(probe)
+    expected = sorted(k for k in keys if k >= probe)
+    if expected:
+        assert cursor.valid and cursor.key == expected[0]
+        assert [k for k, _ in cursor] == expected
+    else:
+        assert not cursor.valid
+
+
+@given(st.lists(st.integers(min_value=0, max_value=500).map(encode_u64), unique=True))
+@settings(max_examples=40, deadline=None)
+def test_first_iterates_everything(keys):
+    tree = AdaptiveRadixTree()
+    for key in keys:
+        tree.insert(key, None)
+    got = [k for k, _ in TreeCursor(tree).first()]
+    assert got == sorted(keys)

@@ -1,0 +1,152 @@
+"""Tests for binary-comparable key encodings."""
+
+import pytest
+
+from repro.art import keys
+from repro.errors import KeyEncodingError
+
+
+class TestU64:
+    def test_round_trip(self):
+        for value in (0, 1, 255, 256, 2**32, 2**64 - 1):
+            assert keys.decode_u64(keys.encode_u64(value)) == value
+
+    def test_width(self):
+        assert len(keys.encode_u64(0)) == 8
+        assert len(keys.encode_u64(2**64 - 1)) == 8
+
+    def test_order_preserving(self):
+        values = [0, 1, 2, 255, 256, 1000, 2**31, 2**63, 2**64 - 1]
+        encoded = [keys.encode_u64(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_big_endian_prefix_is_high_bits(self):
+        # The first byte is the 8-bit prefix DCART's PCU buckets on.
+        assert keys.encode_u64(0x67 << 56)[0] == 0x67
+
+    def test_rejects_negative(self):
+        with pytest.raises(KeyEncodingError):
+            keys.encode_u64(-1)
+
+    def test_rejects_too_large(self):
+        with pytest.raises(KeyEncodingError):
+            keys.encode_u64(2**64)
+
+    def test_rejects_bool(self):
+        with pytest.raises(KeyEncodingError):
+            keys.encode_u64(True)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(KeyEncodingError):
+            keys.encode_u64("7")
+
+    def test_decode_rejects_wrong_width(self):
+        with pytest.raises(KeyEncodingError):
+            keys.decode_u64(b"\x00" * 7)
+
+
+class TestU32:
+    def test_width_and_order(self):
+        values = [0, 1, 2**16, 2**32 - 1]
+        encoded = [keys.encode_u32(v) for v in values]
+        assert all(len(e) == 4 for e in encoded)
+        assert encoded == sorted(encoded)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(KeyEncodingError):
+            keys.encode_u32(2**32)
+
+
+class TestStr:
+    def test_terminator_added(self):
+        assert keys.encode_str("ab") == b"ab\x00"
+
+    def test_prefix_freeness(self):
+        # "ab" must not be a prefix of "abc" after encoding.
+        a = keys.encode_str("ab")
+        b = keys.encode_str("abc")
+        assert not b.startswith(a)
+
+    def test_order_preserving(self):
+        words = ["", "a", "ab", "abc", "b", "ba"]
+        encoded = [keys.encode_str(w) for w in words]
+        assert encoded == sorted(encoded)
+
+    def test_rejects_embedded_nul(self):
+        with pytest.raises(KeyEncodingError):
+            keys.encode_str("a\x00b")
+
+    def test_rejects_non_str(self):
+        with pytest.raises(KeyEncodingError):
+            keys.encode_str(b"bytes")
+
+    def test_unicode_round_trips_through_utf8(self):
+        encoded = keys.encode_str("café")
+        assert encoded.endswith(b"\x00")
+        assert encoded[:-1].decode("utf-8") == "café"
+
+
+class TestIpv4:
+    def test_encode(self):
+        assert keys.encode_ipv4("1.2.3.4") == bytes([1, 2, 3, 4])
+
+    def test_round_trip(self):
+        for addr in ("0.0.0.0", "255.255.255.255", "103.21.244.0"):
+            assert keys.decode_ipv4(keys.encode_ipv4(addr)) == addr
+
+    def test_order_matches_numeric_order(self):
+        addrs = ["0.0.0.1", "0.0.1.0", "1.0.0.0", "10.0.0.0", "103.21.0.0"]
+        encoded = [keys.encode_ipv4(a) for a in addrs]
+        assert encoded == sorted(encoded)
+
+    def test_first_octet_is_prefix(self):
+        assert keys.encode_ipv4("103.21.244.0")[0] == 103
+
+    @pytest.mark.parametrize(
+        "bad", ["1.2.3", "1.2.3.4.5", "1.2.3.256", "a.b.c.d", "1..2.3"]
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(KeyEncodingError):
+            keys.encode_ipv4(bad)
+
+    def test_decode_rejects_wrong_width(self):
+        with pytest.raises(KeyEncodingError):
+            keys.decode_ipv4(b"abc")
+
+
+class TestEmail:
+    def test_domain_reversed_for_clustering(self):
+        encoded = keys.encode_email("alice@mail.example.com")
+        assert encoded.startswith(b"com.example.mail@")
+
+    def test_same_provider_shares_prefix(self):
+        a = keys.encode_email("alice@example.com")
+        b = keys.encode_email("bob@example.com")
+        shared = keys.common_prefix_length(a, b)
+        assert shared >= len(b"com.example@")
+
+    def test_rejects_missing_at(self):
+        with pytest.raises(KeyEncodingError):
+            keys.encode_email("not-an-email")
+
+    def test_rejects_empty_local_part(self):
+        with pytest.raises(KeyEncodingError):
+            keys.encode_email("@example.com")
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(KeyEncodingError):
+            keys.encode_email("alice@")
+
+
+class TestCommonPrefixLength:
+    def test_identical(self):
+        assert keys.common_prefix_length(b"abc", b"abc") == 3
+
+    def test_disjoint(self):
+        assert keys.common_prefix_length(b"abc", b"xbc") == 0
+
+    def test_one_is_prefix(self):
+        assert keys.common_prefix_length(b"ab", b"abc") == 2
+
+    def test_empty(self):
+        assert keys.common_prefix_length(b"", b"abc") == 0

@@ -1,0 +1,57 @@
+"""Tests for the synthetic node allocator."""
+
+import pytest
+
+from repro.art.layout import ALIGNMENT, NodeAllocator
+
+
+class TestAllocator:
+    def test_addresses_aligned(self):
+        allocator = NodeAllocator()
+        for size in (1, 52, 160, 656, 2064):
+            assert allocator.allocate(size) % ALIGNMENT == 0
+
+    def test_addresses_disjoint(self):
+        allocator = NodeAllocator()
+        a = allocator.allocate(52)
+        b = allocator.allocate(52)
+        assert b >= a + 52
+
+    def test_live_byte_accounting(self):
+        allocator = NodeAllocator()
+        allocator.allocate(100)
+        allocator.allocate(50)
+        assert allocator.live_bytes == 150
+        allocator.free(100)
+        assert allocator.live_bytes == 50
+        assert allocator.freed_bytes == 100
+
+    def test_high_water_mark_grows(self):
+        allocator = NodeAllocator()
+        assert allocator.high_water_mark == 0
+        allocator.allocate(52)
+        first = allocator.high_water_mark
+        allocator.allocate(52)
+        assert allocator.high_water_mark > first
+
+    def test_addresses_never_reused(self):
+        # Freed ranges are not recycled, so stale pointers are detectable.
+        allocator = NodeAllocator()
+        a = allocator.allocate(64)
+        allocator.free(64)
+        b = allocator.allocate(64)
+        assert b != a
+
+    def test_custom_base(self):
+        allocator = NodeAllocator(base_address=0x2000)
+        assert allocator.allocate(8) == 0x2000
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            NodeAllocator().allocate(0)
+
+    def test_allocation_counter(self):
+        allocator = NodeAllocator()
+        for _ in range(5):
+            allocator.allocate(16)
+        assert allocator.allocations == 5

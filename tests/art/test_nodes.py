@@ -1,0 +1,228 @@
+"""Tests for the adaptive node structures (N4/N16/N48/N256, Leaf)."""
+
+import pytest
+
+from repro.art.nodes import (
+    HEADER_BYTES,
+    POINTER_BYTES,
+    Leaf,
+    Node4,
+    Node16,
+    Node48,
+    Node256,
+)
+from repro.errors import SimulationError
+
+
+def make_leaf(byte):
+    return Leaf(bytes([byte]) * 4, byte)
+
+
+def fill(node, count):
+    for byte in range(count):
+        node.add_child(byte, make_leaf(byte))
+    return node
+
+
+ALL_TYPES = [Node4, Node16, Node48, Node256]
+
+
+@pytest.mark.parametrize("cls", ALL_TYPES)
+class TestCommonBehaviour:
+    def test_starts_empty(self, cls):
+        assert cls().num_children == 0
+        assert not cls().is_full
+
+    def test_add_then_find(self, cls):
+        node = cls()
+        child = make_leaf(7)
+        node.add_child(7, child)
+        assert node.find_child(7) is child
+        assert node.find_child(8) is None
+
+    def test_fill_to_capacity(self, cls):
+        node = fill(cls(), cls.capacity)
+        assert node.is_full
+        assert node.num_children == cls.capacity
+        for byte in range(cls.capacity):
+            assert node.find_child(byte) is not None
+
+    def test_add_beyond_capacity_raises(self, cls):
+        node = fill(cls(), cls.capacity)
+        if cls.capacity < 256:
+            with pytest.raises(SimulationError):
+                node.add_child(cls.capacity, make_leaf(0))
+        else:
+            with pytest.raises(SimulationError):
+                node.add_child(0, make_leaf(0))  # duplicate
+
+    def test_duplicate_byte_raises(self, cls):
+        node = cls()
+        node.add_child(3, make_leaf(3))
+        with pytest.raises(SimulationError):
+            node.add_child(3, make_leaf(4))
+
+    def test_remove(self, cls):
+        node = fill(cls(), min(4, cls.capacity))
+        node.remove_child(1)
+        assert node.find_child(1) is None
+        assert node.num_children == min(4, cls.capacity) - 1
+
+    def test_remove_absent_raises(self, cls):
+        with pytest.raises(SimulationError):
+            cls().remove_child(9)
+
+    def test_replace_child(self, cls):
+        node = cls()
+        node.add_child(5, make_leaf(5))
+        replacement = make_leaf(6)
+        node.replace_child(5, replacement)
+        assert node.find_child(5) is replacement
+
+    def test_replace_absent_raises(self, cls):
+        with pytest.raises(SimulationError):
+            cls().replace_child(5, make_leaf(5))
+
+    def test_children_items_sorted(self, cls):
+        node = cls()
+        inserted = [3, 1, 2, 0]
+        for byte in inserted:
+            node.add_child(byte, make_leaf(byte))
+        assert [b for b, _ in node.children_items()] == sorted(inserted)
+
+    def test_children_items_reflects_removal(self, cls):
+        node = fill(cls(), 4)
+        node.remove_child(2)
+        assert [b for b, _ in node.children_items()] == [0, 1, 3]
+
+    def test_size_bytes_positive_and_ordered(self, cls):
+        assert cls().size_bytes > HEADER_BYTES
+
+    def test_prefix_defaults_empty(self, cls):
+        node = cls()
+        assert node.prefix == b""
+        assert node.prefix_len == 0
+
+    def test_used_bytes_for_descent(self, cls):
+        node = cls()
+        node.prefix = b"abc"
+        assert node.used_bytes_for_descent() == 3 + 1 + POINTER_BYTES
+
+
+class TestGrowChain:
+    def test_n4_grows_to_n16(self):
+        node = fill(Node4(), 4)
+        node.prefix = b"pp"
+        bigger = node.grow()
+        assert isinstance(bigger, Node16)
+        assert bigger.prefix == b"pp"
+        assert [b for b, _ in bigger.children_items()] == [0, 1, 2, 3]
+
+    def test_n16_grows_to_n48(self):
+        node = fill(Node16(), 16)
+        bigger = node.grow()
+        assert isinstance(bigger, Node48)
+        assert bigger.num_children == 16
+        for byte in range(16):
+            assert bigger.find_child(byte) is not None
+
+    def test_n48_grows_to_n256(self):
+        node = fill(Node48(), 48)
+        bigger = node.grow()
+        assert isinstance(bigger, Node256)
+        assert bigger.num_children == 48
+
+    def test_n256_cannot_grow(self):
+        with pytest.raises(SimulationError):
+            Node256().grow()
+
+    def test_grow_preserves_child_identity(self):
+        node = Node4()
+        children = {b: make_leaf(b) for b in (10, 20, 30, 40)}
+        for byte, child in children.items():
+            node.add_child(byte, child)
+        bigger = node.grow()
+        for byte, child in children.items():
+            assert bigger.find_child(byte) is child
+
+
+class TestShrinkChain:
+    def test_n16_shrinks_to_n4(self):
+        node = fill(Node16(), 3)
+        node.prefix = b"q"
+        smaller = node.shrink()
+        assert isinstance(smaller, Node4)
+        assert smaller.prefix == b"q"
+        assert smaller.num_children == 3
+
+    def test_n48_shrinks_to_n16(self):
+        node = fill(Node48(), 12)
+        smaller = node.shrink()
+        assert isinstance(smaller, Node16)
+        assert smaller.num_children == 12
+
+    def test_n256_shrinks_to_n48(self):
+        node = fill(Node256(), 36)
+        smaller = node.shrink()
+        assert isinstance(smaller, Node48)
+        assert smaller.num_children == 36
+
+    def test_n4_cannot_shrink(self):
+        with pytest.raises(SimulationError):
+            Node4().shrink()
+
+    def test_shrink_of_overfull_n16_raises(self):
+        node = fill(Node16(), 16)
+        with pytest.raises(SimulationError):
+            node.shrink()
+
+
+class TestNode48Slots:
+    def test_slot_reuse_after_removal(self):
+        node = fill(Node48(), 48)
+        node.remove_child(10)
+        assert not node.is_full
+        node.add_child(200, make_leaf(1))
+        assert node.is_full
+        assert node.find_child(200) is not None
+        assert node.find_child(10) is None
+
+    def test_many_add_remove_cycles_stay_consistent(self):
+        node = Node48()
+        for round_number in range(5):
+            for byte in range(48):
+                node.add_child(byte, make_leaf(byte % 251))
+            assert node.num_children == 48
+            for byte in range(48):
+                node.remove_child(byte)
+            assert node.num_children == 0
+
+
+class TestSizes:
+    def test_monotone_in_capacity(self):
+        sizes = [cls().size_bytes for cls in ALL_TYPES]
+        assert sizes == sorted(sizes)
+
+    def test_match_c_layout(self):
+        # header + keys + pointers (paper: partial key 1 B, pointer 8 B).
+        assert Node4().size_bytes == HEADER_BYTES + 4 * 9
+        assert Node16().size_bytes == HEADER_BYTES + 16 * 9
+        assert Node48().size_bytes == HEADER_BYTES + 256 + 48 * 8
+        assert Node256().size_bytes == HEADER_BYTES + 256 * 8
+
+    def test_leaf_size_includes_key(self):
+        leaf = Leaf(b"12345678", None)
+        assert leaf.size_bytes == HEADER_BYTES + 8 + POINTER_BYTES
+
+
+class TestOnlyChild:
+    def test_returns_single_pair(self):
+        node = Node4()
+        child = make_leaf(9)
+        node.add_child(9, child)
+        assert node.only_child() == (9, child)
+
+    def test_raises_with_two_children(self):
+        node = fill(Node4(), 2)
+        with pytest.raises(SimulationError):
+            node.only_child()

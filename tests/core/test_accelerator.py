@@ -1,0 +1,130 @@
+"""End-to-end tests for the DCART accelerator model."""
+
+import pytest
+
+from repro.core import DCARTConfig, DcartAccelerator
+from repro.workloads import OpKind, make_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload("IPGEO", n_keys=3000, n_ops=15_000, seed=7)
+
+
+@pytest.fixture(scope="module")
+def result(workload):
+    config = DCARTConfig(
+        batch_size=4096, tree_buffer_bytes=64 * 1024, shortcut_buffer_bytes=8 * 1024
+    )
+    return DcartAccelerator(config=config).run(workload)
+
+
+class TestFunctionalExecution:
+    def test_all_ops_accounted(self, workload, result):
+        assert result.n_ops == workload.n_ops
+        assert len(result.latencies_ns) == workload.n_ops
+
+    def test_writes_applied_to_tree(self, workload):
+        accel = DcartAccelerator(config=DCARTConfig(batch_size=4096))
+        tree = accel.build_tree(workload)
+        accel.run(workload, tree=tree)
+        # Replay expected final values: last write wins per key.
+        expected = {}
+        for position, key in enumerate(workload.loaded_keys):
+            expected[key] = position
+        for op in workload.operations:
+            if op.kind is OpKind.WRITE:
+                expected[op.key] = op.value
+            elif op.kind is OpKind.DELETE:
+                expected.pop(op.key, None)
+        for key, value in expected.items():
+            assert tree.search(key) == value
+        tree.validate()
+
+    def test_deterministic(self, workload):
+        config = DCARTConfig(batch_size=4096)
+        a = DcartAccelerator(config=config).run(workload)
+        b = DcartAccelerator(config=config).run(workload)
+        assert a.elapsed_seconds == b.elapsed_seconds
+        assert a.partial_key_matches == b.partial_key_matches
+        assert a.lock_contentions == b.lock_contentions
+
+
+class TestTiming:
+    def test_elapsed_positive_and_cycle_consistent(self, result):
+        assert result.elapsed_seconds > 0
+        cycles = result.extra["total_cycles"]
+        assert result.elapsed_seconds == pytest.approx(cycles / 230e6)
+
+    def test_pcu_floor(self, workload, result):
+        # The PCU sustains at most one op per cycle: the run can never
+        # be faster than n_ops cycles.
+        assert result.extra["total_cycles"] >= workload.n_ops
+
+    def test_energy_is_power_times_time(self, result):
+        assert result.energy_joules == pytest.approx(42.0 * result.elapsed_seconds)
+
+    def test_breakdown_sums_to_elapsed(self, result):
+        assert result.breakdown.total_seconds == pytest.approx(
+            result.elapsed_seconds, rel=1e-6
+        )
+
+    def test_latencies_positive(self, result):
+        assert result.latencies_ns.min() > 0
+        assert result.p99_latency_us > 0
+
+
+class TestMechanisms:
+    def test_shortcuts_generated_and_hit(self, result):
+        assert result.extra["shortcut_entries"] > 0
+        assert result.extra["shortcut_hits"] > 0
+        # With Zipf repetition, most ops come from shortcuts.
+        assert result.extra["shortcut_hits"] > result.extra["traversals"]
+
+    def test_matches_far_below_op_count(self, workload, result):
+        # Operation-centric engines pay >= depth matches per op.
+        assert result.partial_key_matches < workload.n_ops
+
+    def test_prefix_calibration_reported(self, result):
+        assert result.extra["prefix_byte_offset"] == 0  # IPv4 first octet
+
+    def test_tree_buffer_active(self, result):
+        assert 0 < result.extra["tree_buffer_hit_rate"] < 1
+
+    def test_residual_contentions_nonzero_but_small(self, workload, result):
+        # Fig. 7: DCART retains a small residual (coalesced group locks
+        # and shared-ancestor syncs), far below one per write.
+        writes = workload.operations.write_count
+        assert 0 < result.lock_contentions < writes
+
+
+class TestAblationSwitches:
+    def test_no_shortcuts_increases_matches(self, workload):
+        base = DcartAccelerator(config=DCARTConfig(batch_size=4096)).run(workload)
+        ablated = DcartAccelerator(
+            config=DCARTConfig(batch_size=4096, enable_shortcuts=False)
+        ).run(workload)
+        assert ablated.partial_key_matches > 3 * base.partial_key_matches
+        assert ablated.extra["shortcut_entries"] == 0
+
+    def test_no_combining_increases_contentions(self, workload):
+        base = DcartAccelerator(config=DCARTConfig(batch_size=4096)).run(workload)
+        ablated = DcartAccelerator(
+            config=DCARTConfig(batch_size=4096, enable_combining=False)
+        ).run(workload)
+        assert ablated.lock_contentions > base.lock_contentions
+        assert ablated.elapsed_seconds > base.elapsed_seconds
+
+    def test_no_overlap_is_slower(self, workload):
+        base = DcartAccelerator(config=DCARTConfig(batch_size=2048)).run(workload)
+        ablated = DcartAccelerator(
+            config=DCARTConfig(batch_size=2048, enable_overlap=False)
+        ).run(workload)
+        assert ablated.elapsed_seconds > base.elapsed_seconds
+
+    def test_fixed_prefix_offset_respected(self, workload):
+        accel = DcartAccelerator(
+            config=DCARTConfig(batch_size=4096, prefix_byte_offset=1)
+        )
+        result = accel.run(workload)
+        assert result.extra["prefix_byte_offset"] == 1

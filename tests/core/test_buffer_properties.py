@@ -1,0 +1,80 @@
+"""Property-based tests for the value-aware Tree_buffer invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tree_buffer import LruTreeBuffer, ValueAwareTreeBuffer
+
+CAPACITY = 16 * 64
+
+# An access script: (address-slot, size-class, value) triples.
+script = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=40),
+        st.sampled_from([52, 160, 656]),
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    ),
+    max_size=300,
+)
+
+
+def replay(buffer, actions):
+    for slot, size, value in actions:
+        address = 0x1000 + slot * 0x1000
+        if not buffer.lookup(address):
+            buffer.admit(address, size, value)
+    return buffer
+
+
+@given(script)
+@settings(max_examples=80, deadline=None)
+def test_capacity_never_exceeded(actions):
+    buffer = replay(ValueAwareTreeBuffer(CAPACITY), actions)
+    assert buffer.used_bytes <= CAPACITY
+
+
+@given(script)
+@settings(max_examples=80, deadline=None)
+def test_accounting_is_consistent(actions):
+    buffer = replay(ValueAwareTreeBuffer(CAPACITY), actions)
+    assert buffer.hits + buffer.misses == len(actions)  # one lookup per action
+    assert len(buffer) >= 0
+    # used_bytes is the sum of resident sizes.
+    assert buffer.used_bytes == sum(
+        entry[2] for entry in buffer._resident.values()
+    )
+
+
+@given(script)
+@settings(max_examples=60, deadline=None)
+def test_resident_set_matches_contains(actions):
+    buffer = replay(ValueAwareTreeBuffer(CAPACITY), actions)
+    for address in list(buffer._resident):
+        assert address in buffer
+        assert buffer.value_of(address) is not None
+
+
+@given(script, st.floats(min_value=0.1, max_value=0.9))
+@settings(max_examples=60, deadline=None)
+def test_decay_scales_every_value(actions, factor):
+    buffer = replay(ValueAwareTreeBuffer(CAPACITY), actions)
+    before = {addr: buffer.value_of(addr) for addr in buffer._resident}
+    buffer.decay(factor)
+    for address, value in before.items():
+        assert buffer.value_of(address) == value * factor
+
+
+@given(script)
+@settings(max_examples=60, deadline=None)
+def test_lookup_after_admit_always_hits(actions):
+    buffer = ValueAwareTreeBuffer(CAPACITY)
+    for slot, size, value in actions:
+        address = 0x1000 + slot * 0x1000
+        if buffer.admit(address, size, value):
+            assert address in buffer
+
+
+@given(script)
+@settings(max_examples=60, deadline=None)
+def test_lru_adapter_shares_invariants(actions):
+    buffer = replay(LruTreeBuffer(CAPACITY), actions)
+    assert buffer._lru.used_bytes <= CAPACITY

@@ -1,0 +1,106 @@
+"""Tests for the detailed pipeline model + cross-check of the SOU math."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pipeline import InOrderPipeline, analytic_cycles, sou_stage_profile
+from repro.errors import ConfigError, SimulationError
+
+
+class TestBasics:
+    def test_single_op(self):
+        pipe = InOrderPipeline(4)
+        assert pipe.execute([[1, 1, 1, 1]]) == [4]
+
+    def test_steady_state_ii_one(self):
+        pipe = InOrderPipeline(4)
+        ops = [[1, 1, 1, 1]] * 10
+        completions = pipe.execute(ops)
+        # Fill (4) + one per extra op.
+        assert completions == [4 + i for i in range(10)]
+
+    def test_slow_stage_sets_throughput(self):
+        pipe = InOrderPipeline(3)
+        ops = [[1, 3, 1]] * 5
+        completions = pipe.execute(ops)
+        # Stage 1 is the bottleneck: one op leaves it every 3 cycles.
+        deltas = [b - a for a, b in zip(completions, completions[1:])]
+        assert all(d == 3 for d in deltas)
+
+    def test_stall_blocks_followers(self):
+        pipe = InOrderPipeline(2)
+        completions = pipe.execute([[1, 50], [1, 1], [1, 1]])
+        # Op 1 cannot enter stage 1 until op 0 leaves it at cycle 51.
+        assert completions[0] == 51
+        assert completions[1] == 52
+
+    def test_empty(self):
+        assert InOrderPipeline(3).total_cycles([]) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            InOrderPipeline(0)
+        with pytest.raises(SimulationError):
+            InOrderPipeline(2).execute([[1]])
+        with pytest.raises(SimulationError):
+            InOrderPipeline(2).execute([[1, 0]])
+
+
+class TestNoOvertaking:
+    def test_fast_op_waits_behind_slow_one(self):
+        pipe = InOrderPipeline(2)
+        completions = pipe.execute([[10, 1], [1, 1]])
+        assert completions[1] > completions[0]
+
+    def test_completions_strictly_increase(self):
+        pipe = InOrderPipeline(4)
+        ops = [[1, 5, 1, 1], [2, 1, 1, 1], [1, 1, 7, 1]]
+        completions = pipe.execute(ops)
+        assert completions == sorted(completions)
+        assert len(set(completions)) == len(completions)
+
+
+class TestSouProfile:
+    def test_profile_floors_at_one(self):
+        assert sou_stage_profile(0, 0, 0, 0) == [1, 1, 1, 1]
+
+    def test_profile_order(self):
+        assert sou_stage_profile(2, 28, 2, 2) == [2, 28, 2, 2]
+
+
+stage = st.integers(min_value=1, max_value=6)
+stall = st.one_of(stage, st.integers(min_value=20, max_value=40))
+
+
+@given(st.lists(st.tuples(stage, stall, stage, stage), min_size=1, max_size=60))
+@settings(max_examples=80, deadline=None)
+def test_analytic_model_brackets_detailed_model(profile):
+    """The SOU's O(n) cost model must track the exact pipeline.
+
+    The analytic sum of per-op ``max(II, slowest stage)`` is an upper
+    bound for the interlocked pipeline (which overlaps unequal stages),
+    and it cannot underestimate by more than the total fill slack.
+    """
+    ops = [sou_stage_profile(*p) for p in profile]
+    exact = InOrderPipeline(4).total_cycles(ops)
+    approx = analytic_cycles(ops, ii=2)
+    # The analytic model treats each op's slowest stage as its initiation
+    # interval.  The exact pipeline's per-op interval lies between
+    # max(stages) and sum(stages), so the approximation can undershoot by
+    # at most the non-dominant stage work and overshoot by at most the
+    # II padding plus the fill.
+    undershoot_slack = sum(sum(c) - max(c) for c in ops)
+    overshoot_slack = sum(max(0, 2 - max(c)) for c in ops) + sum(ops[0]) + 2 * len(ops)
+    assert approx >= exact - undershoot_slack
+    assert approx <= exact + overshoot_slack
+
+
+@given(st.lists(st.tuples(stage, stall, stage, stage), min_size=1, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_detailed_pipeline_lower_bounds(profile):
+    """Sanity invariants of the exact model."""
+    ops = [sou_stage_profile(*p) for p in profile]
+    total = InOrderPipeline(4).total_cycles(ops)
+    slowest_stage_work = max(sum(op[s] for op in ops) for s in range(4))
+    assert total >= slowest_stage_work  # a stage is never parallel
+    assert total >= max(sum(op) for op in ops)  # an op is never split

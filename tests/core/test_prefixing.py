@@ -1,0 +1,81 @@
+"""Tests for prefix extraction and calibration."""
+
+import pytest
+
+from repro.core.prefixing import PrefixExtractor
+from repro.errors import ConfigError
+
+
+class TestBasics:
+    def test_default_first_byte(self):
+        ex = PrefixExtractor()
+        assert ex.prefix(b"\x67\x01\x02\x03") == 0x67
+        assert ex.bucket(b"\x67\x01\x02\x03") == 0x67 % 16
+
+    def test_offset(self):
+        ex = PrefixExtractor(byte_offset=2)
+        assert ex.prefix(b"\x00\x00\xab\x01") == 0xAB
+
+    def test_short_key_returns_zero(self):
+        ex = PrefixExtractor(byte_offset=8)
+        assert ex.prefix(b"\x01\x02") == 0
+
+    def test_same_key_same_bucket(self):
+        ex = PrefixExtractor()
+        assert ex.bucket(b"abcd") == ex.bucket(b"abcd")
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            PrefixExtractor(byte_offset=-1)
+        with pytest.raises(ConfigError):
+            PrefixExtractor(n_buckets=0)
+        with pytest.raises(ConfigError):
+            PrefixExtractor(n_buckets=257)
+
+    def test_repr_mentions_offset(self):
+        assert "byte_offset=3" in repr(PrefixExtractor(byte_offset=3))
+
+
+class TestCalibration:
+    def test_varied_first_byte_picks_offset_zero(self):
+        keys = [bytes([i, 0, 0, 0]) for i in range(64)]
+        assert PrefixExtractor.calibrate(keys).byte_offset == 0
+
+    def test_constant_prefix_skipped(self):
+        # Dense u64-style keys: bytes 0..5 constant, byte 6 varies.
+        keys = [(i * 256).to_bytes(8, "big") for i in range(200)]
+        ex = PrefixExtractor.calibrate(keys)
+        assert ex.byte_offset == 6
+
+    def test_dominant_byte_rejected(self):
+        # 95% of keys share the first byte: offset 0 is not useful.
+        keys = [bytes([7, i % 251, 3, 4]) for i in range(95)]
+        keys += [bytes([9, i % 251, 3, 4]) for i in range(5)]
+        assert PrefixExtractor.calibrate(keys).byte_offset == 1
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ConfigError):
+            PrefixExtractor.calibrate([])
+
+    def test_all_identical_keys_falls_back(self):
+        ex = PrefixExtractor.calibrate([b"aaaa"] * 10)
+        assert 0 <= ex.byte_offset < 4
+
+    def test_bucket_histogram(self):
+        ex = PrefixExtractor(n_buckets=4)
+        hist = ex.bucket_histogram([bytes([i]) for i in range(8)])
+        assert sum(hist.values()) == 8
+        assert all(count == 2 for count in hist.values())
+
+
+class TestBucketDisjointness:
+    def test_buckets_partition_subtrees(self):
+        """All keys sharing bytes up to the offset land in one bucket."""
+        ex = PrefixExtractor(byte_offset=0, n_buckets=16)
+        groups = {}
+        for i in range(256):
+            key = bytes([i, 1, 2, 3])
+            groups.setdefault(ex.bucket(key), set()).add(i)
+        # Exactly 16 buckets, each with 16 distinct first bytes.
+        assert len(groups) == 16
+        assert all(len(v) == 16 for v in groups.values())

@@ -1,0 +1,104 @@
+"""Tests for the CPU baselines (ART / Heart / SMART)."""
+
+import pytest
+
+from repro.engines import ArtRowexEngine, HeartEngine, SmartEngine
+from repro.workloads import make_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload("IPGEO", n_keys=3000, n_ops=20_000, seed=3)
+
+
+@pytest.fixture(scope="module")
+def shared_records(workload):
+    engine = ArtRowexEngine()
+    tree = engine.build_tree(workload)
+    return engine.collect_records(tree, workload)
+
+
+@pytest.fixture(scope="module")
+def results(workload, shared_records):
+    return {
+        engine.name: engine.run(workload, records=shared_records)
+        for engine in (ArtRowexEngine(), HeartEngine(), SmartEngine())
+    }
+
+
+class TestBasicAccounting:
+    @pytest.mark.parametrize("name", ["ART", "Heart", "SMART"])
+    def test_counters_populated(self, results, workload, name):
+        r = results[name]
+        assert r.n_ops == workload.n_ops
+        assert r.elapsed_seconds > 0
+        assert r.partial_key_matches > 0
+        assert r.nodes_visited > r.distinct_nodes_visited > 0
+        assert len(r.latencies_ns) == workload.n_ops
+        assert r.energy_joules == pytest.approx(135.0 * r.elapsed_seconds)
+
+    def test_deterministic(self, workload):
+        a = ArtRowexEngine().run(workload)
+        b = ArtRowexEngine().run(workload)
+        assert a.elapsed_seconds == b.elapsed_seconds
+        assert a.lock_contentions == b.lock_contentions
+
+    def test_records_reuse_matches_fresh_run(self, workload, shared_records):
+        fresh = ArtRowexEngine().run(workload)
+        reused = ArtRowexEngine().run(workload, records=shared_records)
+        assert reused.elapsed_seconds == pytest.approx(fresh.elapsed_seconds)
+        assert reused.partial_key_matches == fresh.partial_key_matches
+
+
+class TestOrderingProperties:
+    def test_smart_fastest_cpu_baseline(self, results):
+        assert (
+            results["SMART"].elapsed_seconds
+            < results["Heart"].elapsed_seconds
+            < results["ART"].elapsed_seconds
+        )
+
+    def test_smart_fewer_matches_due_to_path_cache(self, results):
+        assert results["SMART"].partial_key_matches < results["ART"].partial_key_matches
+        # Heart has no path cache: identical traversal work to ART.
+        assert results["Heart"].partial_key_matches == results["ART"].partial_key_matches
+
+    def test_contentions_identical_across_cas_and_locks(self, results):
+        # Conflicts are a property of the schedule, not the lock type.
+        assert (
+            results["ART"].lock_contentions
+            == results["Heart"].lock_contentions
+            == results["SMART"].lock_contentions
+        )
+
+    def test_sync_dominates_under_contention(self, results):
+        # Fig. 2(a): traversal+sync >> other for every CPU baseline.
+        for r in results.values():
+            combined = r.breakdown.share("traverse") + r.sync_share
+            assert combined > 0.9
+
+    def test_redundancy_matches_fig2b_shape(self, results):
+        # Fig. 2(b): the overwhelming majority of visits are redundant.
+        for r in results.values():
+            assert r.redundancy_ratio > 0.7
+
+    def test_cacheline_utilisation_matches_fig2c_shape(self, results):
+        # Fig. 2(c): ~20% of fetched bytes useful.
+        for r in results.values():
+            assert 0.08 < r.cacheline_utilisation < 0.4
+
+
+class TestWriteRatioSensitivity:
+    def test_more_writes_more_contention(self):
+        lo = make_workload("IPGEO", n_keys=2000, n_ops=10_000, write_ratio=0.1, seed=5)
+        hi = make_workload("IPGEO", n_keys=2000, n_ops=10_000, write_ratio=0.9, seed=5)
+        r_lo = ArtRowexEngine().run(lo)
+        r_hi = ArtRowexEngine().run(hi)
+        assert r_hi.lock_contentions > r_lo.lock_contentions
+        assert r_hi.elapsed_seconds > r_lo.elapsed_seconds
+
+    def test_pure_reads_have_no_contention(self):
+        wl = make_workload("IPGEO", n_keys=2000, n_ops=10_000, write_ratio=0.0, seed=5)
+        r = ArtRowexEngine().run(wl)
+        assert r.lock_contentions == 0
+        assert r.lock_acquisitions == 0

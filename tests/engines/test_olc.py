@@ -1,0 +1,61 @@
+"""Tests for the OLC extension engine."""
+
+import pytest
+
+from repro.engines import ArtRowexEngine, HeartEngine, OlcEngine
+from repro.harness.runner import default_engines
+from repro.workloads import make_workload
+
+
+@pytest.fixture(scope="module")
+def contended():
+    return make_workload("IPGEO", n_keys=2000, n_ops=15_000, seed=9)
+
+
+@pytest.fixture(scope="module")
+def read_only():
+    return make_workload("IPGEO", n_keys=2000, n_ops=15_000, seed=9, write_ratio=0.0)
+
+
+class TestOlc:
+    def test_runs_and_accounts(self, contended):
+        result = OlcEngine().run(contended)
+        assert result.n_ops == contended.n_ops
+        assert result.elapsed_seconds > 0
+        assert result.extra["read_restarts"] > 0
+
+    def test_no_restarts_without_writers(self, read_only):
+        result = OlcEngine().run(read_only)
+        assert result.extra["read_restarts"] == 0
+        assert result.lock_contentions == 0
+
+    def test_restarts_cost_time(self, contended):
+        # Same lock penalty, restarts on vs off: restarts must cost.
+        class NoRestart(OlcEngine):
+            reader_restart = False
+
+        with_restarts = OlcEngine().run(contended)
+        without = NoRestart().run(contended)
+        assert with_restarts.elapsed_seconds > without.elapsed_seconds
+
+    def test_positioned_between_rowex_and_cas(self, contended):
+        # On contended write-heavy streams OLC beats ROWEX convoys but
+        # pays reader restarts that CAS designs do not.
+        olc = OlcEngine().run(contended)
+        art = ArtRowexEngine().run(contended)
+        assert olc.elapsed_seconds < art.elapsed_seconds
+
+    def test_rowex_engines_report_no_restarts(self, contended):
+        result = HeartEngine().run(contended)
+        assert result.extra["read_restarts"] == 0
+
+    def test_available_from_roster_by_request(self):
+        engines = default_engines(2000, include=["OLC", "DCART"])
+        assert [e.name for e in engines] == ["DCART", "OLC"]
+
+    def test_not_in_default_roster(self):
+        assert "OLC" not in [e.name for e in default_engines(2000)]
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(KeyError):
+            default_engines(2000, include=["BTREE"])

@@ -1,0 +1,85 @@
+"""Tests for result serialization."""
+
+import io
+
+import pytest
+
+from repro.engines import SmartEngine
+from repro.errors import SimulationError
+from repro.harness.runner import default_engines, run_matrix
+from repro.harness.serialize import (
+    load_matrix,
+    result_from_dict,
+    result_to_dict,
+    save_matrix,
+)
+from repro.workloads import make_workload
+
+
+@pytest.fixture(scope="module")
+def result():
+    wl = make_workload("DE", n_keys=800, n_ops=3000, seed=2)
+    return SmartEngine().run(wl)
+
+
+class TestResultDict:
+    def test_scalar_fields(self, result):
+        data = result_to_dict(result)
+        assert data["engine"] == "SMART"
+        assert data["n_ops"] == 3000
+        assert data["elapsed_seconds"] == result.elapsed_seconds
+        assert data["lock_contentions"] == result.lock_contentions
+
+    def test_latency_percentiles_present(self, result):
+        data = result_to_dict(result)
+        assert data["latency"]["p99_us"] == pytest.approx(
+            result.p99_latency_us, rel=1e-6
+        )
+        assert data["latency"]["p50_us"] <= data["latency"]["p99_us"]
+
+    def test_spatial_summary(self, result):
+        data = result_to_dict(result)
+        assert data["spatial"]["distinct_nodes"] == result.distinct_nodes_visited
+        assert 0 < data["spatial"]["top5pct_share"] <= 1
+
+    def test_json_safe(self, result):
+        import json
+
+        json.dumps(result_to_dict(result))  # must not raise
+
+    def test_round_trip_summary_level(self, result):
+        data = result_to_dict(result)
+        back = result_from_dict(data)
+        assert back.engine == result.engine
+        assert back.elapsed_seconds == result.elapsed_seconds
+        assert back.partial_key_matches == result.partial_key_matches
+        assert back.breakdown.sync_seconds == pytest.approx(
+            result.breakdown.sync_seconds
+        )
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(SimulationError):
+            result_from_dict({"engine": "X"})
+
+
+class TestMatrixRoundTrip:
+    def test_save_and_load(self):
+        wl = make_workload("DE", n_keys=500, n_ops=1500, seed=3)
+        matrix = run_matrix(default_engines(500, include=["SMART", "DCART"]), [wl])
+        buffer = io.StringIO()
+        save_matrix(matrix, buffer)
+        buffer.seek(0)
+        reloaded = load_matrix(buffer)
+        assert set(reloaded) == {"DE"}
+        assert set(reloaded["DE"]) == {"SMART", "DCART"}
+        assert reloaded["DE"]["DCART"].elapsed_seconds == pytest.approx(
+            matrix["DE"]["DCART"].elapsed_seconds
+        )
+
+    def test_file_round_trip(self, tmp_path):
+        wl = make_workload("RS", n_keys=400, n_ops=1000, seed=3)
+        matrix = run_matrix(default_engines(400, include=["DCART"]), [wl])
+        path = str(tmp_path / "matrix.json")
+        save_matrix(matrix, path)
+        reloaded = load_matrix(path)
+        assert reloaded["RS"]["DCART"].n_ops == 1000

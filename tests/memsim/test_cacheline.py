@@ -1,0 +1,68 @@
+"""Tests for cache-line arithmetic and the utilisation meter."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memsim.cacheline import LineMeter, lines_spanned
+
+
+class TestLinesSpanned:
+    def test_aligned_single_line(self):
+        assert lines_spanned(0, 64) == [0]
+        assert lines_spanned(64, 64) == [64]
+
+    def test_small_object_one_line(self):
+        assert lines_spanned(10, 8) == [0]
+
+    def test_straddles_boundary(self):
+        assert lines_spanned(60, 8) == [0, 64]
+
+    def test_large_object(self):
+        assert lines_spanned(0, 2064) == [i * 64 for i in range(33)]
+
+    def test_custom_line_size(self):
+        assert lines_spanned(0, 100, line_bytes=128) == [0]
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigError):
+            lines_spanned(0, 8, line_bytes=48)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigError):
+            lines_spanned(0, 0)
+
+
+class TestLineMeter:
+    def test_utilisation_matches_paper_shape(self):
+        # An N4 descent: fetch a 52-byte node (1 line), use prefix 0
+        # + 1 key byte + 8 pointer bytes = 9 of 64 -> ~14%.
+        meter = LineMeter()
+        meter.record(address=0, object_size=52, used_bytes=9)
+        assert meter.utilisation == pytest.approx(9 / 64)
+
+    def test_accumulates(self):
+        meter = LineMeter()
+        meter.record(0, 52, 9)
+        meter.record(128, 656, 9)  # N48: 11 lines fetched
+        assert meter.fetched_bytes == 64 + 11 * 64
+        assert meter.used_bytes == 18
+        assert meter.accesses == 2
+
+    def test_rejects_used_exceeding_object(self):
+        with pytest.raises(ConfigError):
+            LineMeter().record(0, 8, 9)
+
+    def test_merge(self):
+        a, b = LineMeter(), LineMeter()
+        a.record(0, 64, 10)
+        b.record(0, 64, 20)
+        a.merge(b)
+        assert a.used_bytes == 30
+        assert a.accesses == 2
+
+    def test_merge_rejects_mismatched_lines(self):
+        with pytest.raises(ConfigError):
+            LineMeter(64).merge(LineMeter(128))
+
+    def test_empty_utilisation(self):
+        assert LineMeter().utilisation == 0.0

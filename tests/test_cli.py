@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRunCommand:
+    def test_run_prints_summary(self, capsys):
+        code = main([
+            "run", "--engine", "DCART", "--workload", "DE",
+            "--keys", "500", "--ops", "1000",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "DCART" in out and "DE" in out
+        assert "Mops/s" in out
+
+    def test_run_json_output(self, capsys):
+        code = main([
+            "run", "--engine", "SMART", "--workload", "RS",
+            "--keys", "400", "--ops", "800", "--json",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["engine"] == "SMART"
+        assert data["n_ops"] == 800
+
+    def test_write_ratio_flag(self, capsys):
+        main([
+            "run", "--engine", "ART", "--workload", "DE",
+            "--keys", "400", "--ops", "800", "--write-ratio", "0.0", "--json",
+        ])
+        data = json.loads(capsys.readouterr().out)
+        assert data["lock_contentions"] == 0
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--engine", "BTREE"])
+
+
+class TestWorkloadCommand:
+    def test_generate_and_replay(self, capsys, tmp_path):
+        path = str(tmp_path / "wl.jsonl")
+        assert main([
+            "workload", "--name", "DICT", "--keys", "400",
+            "--ops", "800", "--out", path,
+        ]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main([
+            "run", "--engine", "DCART", "--replay", path, "--json",
+        ]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["workload"] == "DICT"
+        assert data["n_ops"] == 800
+
+
+class TestFiguresCommand:
+    def test_table1_only(self, capsys):
+        assert main(["figures", "--only", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "16 x SOUs" in out
+
+    def test_figure_with_save(self, capsys, tmp_path):
+        from repro.harness import experiments
+
+        experiments.clear_cache()
+        save_dir = str(tmp_path / "figs")
+        assert main([
+            "figures", "--only", "fig3", "--keys", "1000",
+            "--ops", "3000", "--save", save_dir,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+        assert (tmp_path / "figs" / "fig3.txt").exists()
+        assert (tmp_path / "figs" / "fig3.csv").exists()
+        assert (tmp_path / "figs" / "fig3.json").exists()
+        experiments.clear_cache()
