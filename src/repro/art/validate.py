@@ -1,0 +1,211 @@
+"""Standalone ART structural-invariant validator (the chaos oracle).
+
+:meth:`AdaptiveRadixTree.validate` raises on the first violation; the
+chaos harness needs more: after a faulted run it must *prove* the tree
+is still canonical and report every violation it finds, structured, so a
+degradation experiment can assert "failures cost throughput, never
+correctness".  :func:`validate_tree` re-derives the invariants
+independently of the tree's own bookkeeping:
+
+* **occupancy bounds** — every inner node holds between its type's
+  ``min_occupancy`` and ``capacity`` children (a 1-child N4 should have
+  been path-merged, an underfull N16/N48/N256 shrunk);
+* **key ordering** — Node4/Node16 parallel arrays sorted and duplicate
+  free; Node48/Node256 index structures internally consistent;
+* **prefix consistency** — every leaf's key extends the concatenated
+  path (compressed prefixes + edge bytes) leading to it;
+* **leaf reachability** — every leaf is reachable from the root, the
+  reachable count matches ``len(tree)``, and the reachable node set is
+  exactly the tree's address registry (no leaked or dangling nodes, so
+  every shortcut-addressable node is live and vice versa).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.art.nodes import InnerNode, Leaf, Node4, Node16, Node48, Node256
+from repro.art.tree import AdaptiveRadixTree
+from repro.errors import TreeError
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, attributable to one node."""
+
+    kind: str
+    node_id: int
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] node {self.node_id}: {self.detail}"
+
+
+@dataclass
+class ValidationReport:
+    """Everything :func:`validate_tree` established about one tree."""
+
+    nodes_checked: int = 0
+    leaves_seen: int = 0
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, kind: str, node_id: int, detail: str) -> None:
+        self.violations.append(Violation(kind, node_id, detail))
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`TreeError` summarising every violation."""
+        if self.ok:
+            return
+        summary = "; ".join(str(v) for v in self.violations[:10])
+        if len(self.violations) > 10:
+            summary += f"; ... {len(self.violations) - 10} more"
+        raise TreeError(
+            f"ART invariant validation failed "
+            f"({len(self.violations)} violations): {summary}"
+        )
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} violations"
+        return (
+            f"validated {self.nodes_checked} nodes "
+            f"({self.leaves_seen} leaves): {status}"
+        )
+
+
+def validate_tree(tree: AdaptiveRadixTree) -> ValidationReport:
+    """Check every structural invariant; returns a full report."""
+    report = ValidationReport()
+    reachable_addresses = set()
+
+    def check_node(node, accumulated: bytes) -> None:
+        report.nodes_checked += 1
+        if node.address in reachable_addresses:
+            report.add(
+                "reachability", node.node_id,
+                f"address {node.address} reached twice (node aliasing)",
+            )
+        reachable_addresses.add(node.address)
+        if tree.node_at(node.address) is not node:
+            report.add(
+                "reachability", node.node_id,
+                f"address {node.address} does not resolve back to this node",
+            )
+        if isinstance(node, Leaf):
+            report.leaves_seen += 1
+            if not node.key.startswith(accumulated):
+                report.add(
+                    "prefix", node.node_id,
+                    f"leaf key {node.key.hex()} does not extend path "
+                    f"{accumulated.hex()}",
+                )
+            return
+        _check_occupancy(node, report)
+        _check_layout(node, report)
+        path = accumulated + node.prefix
+        for byte, child in node.children_items():
+            check_node(child, path + bytes([byte]))
+
+    if tree.root is not None:
+        check_node(tree.root, b"")
+
+    if report.leaves_seen != len(tree):
+        report.add(
+            "reachability", -1,
+            f"{report.leaves_seen} reachable leaves but tree records "
+            f"{len(tree)} keys",
+        )
+    registered = set(tree._by_address)
+    for address in sorted(registered - reachable_addresses):
+        node = tree.node_at(address)
+        report.add(
+            "reachability",
+            node.node_id if node is not None else -1,
+            f"registered address {address} is unreachable from the root",
+        )
+
+    return report
+
+
+def _check_occupancy(node: InnerNode, report: ValidationReport) -> None:
+    count = node.num_children
+    if count > node.capacity:
+        report.add(
+            "occupancy", node.node_id,
+            f"{node.kind} holds {count} children (capacity {node.capacity})",
+        )
+    if isinstance(node, Node4):
+        if count < 2:
+            report.add(
+                "occupancy", node.node_id,
+                f"N4 holds {count} children; 1-child N4s must be path-merged",
+            )
+    elif count < node.min_occupancy:
+        report.add(
+            "occupancy", node.node_id,
+            f"{node.kind} holds {count} children "
+            f"(minimum {node.min_occupancy}; should have shrunk)",
+        )
+
+
+def _check_layout(node: InnerNode, report: ValidationReport) -> None:
+    """Per-layout internal consistency (the chaos harness's deep check)."""
+    if isinstance(node, (Node4, Node16)):
+        if node.keys != sorted(node.keys):
+            report.add(
+                "ordering", node.node_id,
+                f"{node.kind} partial keys out of order: {node.keys}",
+            )
+        if len(set(node.keys)) != len(node.keys):
+            report.add(
+                "ordering", node.node_id,
+                f"{node.kind} duplicate partial keys: {node.keys}",
+            )
+        if len(node.keys) != len(node.children):
+            report.add(
+                "layout", node.node_id,
+                f"{node.kind} key/child arrays diverge: "
+                f"{len(node.keys)} vs {len(node.children)}",
+            )
+    elif isinstance(node, Node48):
+        occupied = [
+            (byte, slot)
+            for byte, slot in enumerate(node.child_index)
+            if slot != 0xFF
+        ]
+        slots = [slot for _, slot in occupied]
+        if len(set(slots)) != len(slots):
+            report.add(
+                "layout", node.node_id, "N48 child slots aliased"
+            )
+        for byte, slot in occupied:
+            if slot >= node.capacity or node.children[slot] is None:
+                report.add(
+                    "layout", node.node_id,
+                    f"N48 index byte {byte:#04x} points at empty slot {slot}",
+                )
+        if len(occupied) != node.num_children:
+            report.add(
+                "layout", node.node_id,
+                f"N48 count {node.num_children} but {len(occupied)} "
+                "index entries",
+            )
+    elif isinstance(node, Node256):
+        populated = sum(1 for child in node.children if child is not None)
+        if populated != node.num_children:
+            report.add(
+                "layout", node.node_id,
+                f"N256 count {node.num_children} but {populated} "
+                "populated slots",
+            )
+
+
+def assert_valid(tree: AdaptiveRadixTree) -> ValidationReport:
+    """Validate and raise :class:`TreeError` on any violation."""
+    report = validate_tree(tree)
+    report.raise_if_failed()
+    return report

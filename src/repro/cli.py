@@ -8,6 +8,12 @@ Commands:
 * ``run`` — one engine on one workload, printing the result summary.
 * ``workload`` — generate a workload and write it as JSON-lines
   (replayable with ``run --replay``).
+* ``chaos`` — fault-injection run (``--fail-sous N``, corruption,
+  storms, throttling) with graceful-degradation and invariant checks;
+  ``--sweep`` produces the full degradation curve.
+
+``--log-level`` (before the subcommand) turns on fault/event logging;
+the library stays silent by default.
 
 Examples:
 
@@ -15,6 +21,8 @@ Examples:
     python -m repro run --engine DCART --workload IPGEO --ops 50000
     python -m repro workload --name DICT --keys 5000 --out dict.jsonl
     python -m repro run --engine SMART --replay dict.jsonl
+    python -m repro chaos --fail-sous 4 --seed 1
+    python -m repro --log-level INFO chaos --sweep
 """
 
 from __future__ import annotations
@@ -55,6 +63,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="DCART (DAC 2025) reproduction harness"
     )
+    parser.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        help="enable library logging at LEVEL (DEBUG/INFO/WARNING/...); "
+             "default: silent",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     figures = sub.add_parser("figures", help="regenerate paper figures/tables")
@@ -85,6 +98,25 @@ def _build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--seed", type=int, default=1)
     workload.add_argument("--write-ratio", type=float, default=None)
     workload.add_argument("--out", required=True)
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection run with degradation + invariant checks"
+    )
+    chaos.add_argument("--fail-sous", type=int, default=0,
+                       help="fail-stop this many SOUs at batch 0")
+    chaos.add_argument("--corrupt-shortcuts", type=int, default=0,
+                       help="corrupt this many shortcut entries mid-run")
+    chaos.add_argument("--storm", type=float, default=0.0,
+                       help="invalidate this fraction of the Tree_buffer mid-run")
+    chaos.add_argument("--throttle", type=float, default=1.0,
+                       help="HBM bandwidth multiplier over the run's second half")
+    chaos.add_argument("--workload", choices=WORKLOAD_NAMES, default="IPGEO")
+    chaos.add_argument("--keys", type=int, default=None)
+    chaos.add_argument("--ops", type=int, default=None)
+    chaos.add_argument("--seed", type=int, default=1)
+    chaos.add_argument("--sweep", action="store_true",
+                       help="degradation curve over 0..n_sous-1 failed SOUs")
+    chaos.add_argument("--json", action="store_true", help="emit JSON")
     return parser
 
 
@@ -144,6 +176,89 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    import json
+
+    from repro.errors import ConfigError, FaultError
+    from repro.faults import (
+        BufferStorm,
+        FaultSchedule,
+        HbmThrottle,
+        ShortcutCorruption,
+    )
+    from repro.harness import resilience
+
+    n_keys = args.keys if args.keys is not None else resilience.DEFAULT_KEYS
+    n_ops = args.ops if args.ops is not None else resilience.DEFAULT_OPS
+
+    if args.sweep:
+        curve = resilience.degradation_curve(
+            n_keys=n_keys, n_ops=n_ops, seed=args.seed,
+            workload_name=args.workload,
+        )
+        print(curve.render())
+        return 0
+
+    config = resilience.chaos_config(n_keys)
+    n_batches = -(-n_ops // config.batch_size)
+    mid = min(max(1, n_batches // 2), n_batches - 1)
+    try:
+        events = list(
+            FaultSchedule.fail_sous(
+                args.fail_sous, args.seed, n_sous=config.n_sous
+            ).events
+        )
+        if args.corrupt_shortcuts > 0:
+            events.append(ShortcutCorruption(mid, args.corrupt_shortcuts))
+        if args.storm > 0.0:
+            events.append(BufferStorm(mid, args.storm))
+        if args.throttle < 1.0:
+            events.append(HbmThrottle(mid, n_batches - 1, args.throttle))
+        schedule = FaultSchedule(seed=args.seed, events=tuple(events))
+    except ConfigError as exc:
+        print(f"bad chaos scenario: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        outcome = resilience.chaos_run(
+            seed=args.seed, workload_name=args.workload,
+            n_keys=n_keys, n_ops=n_ops,
+            schedule=schedule, config=config,
+        )
+    except FaultError as exc:
+        if args.json:
+            print(json.dumps(exc.to_dict(), indent=1))
+        else:
+            print(f"chaos run aborted: {exc}")
+            for key, value in sorted(exc.diagnostics.items()):
+                print(f"  {key}: {value}")
+        return 3
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "schedule_signature": schedule.signature(),
+                    "n_failed": outcome.n_failed,
+                    "degradation": outcome.degradation,
+                    "proportional_loss": outcome.proportional_loss,
+                    "graceful": outcome.graceful,
+                    "tree_valid": outcome.validation.ok,
+                    "baseline": result_to_dict(outcome.baseline),
+                    "result": result_to_dict(outcome.result),
+                },
+                indent=1,
+            )
+        )
+    else:
+        print(schedule.describe())
+        print(f"schedule signature: {schedule.signature()}")
+        print(outcome.baseline.summary())
+        print(outcome.result.summary())
+        print(outcome.summary())
+    return 0 if outcome.graceful else 1
+
+
 def _cmd_workload(args) -> int:
     workload = make_workload(
         args.name,
@@ -159,12 +274,22 @@ def _cmd_workload(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.log_level is not None:
+        from repro.log import configure
+
+        try:
+            configure(args.log_level)
+        except ValueError as exc:
+            print(f"repro: {exc}", file=sys.stderr)
+            return 2
     if args.command == "figures":
         return _cmd_figures(args)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "workload":
         return _cmd_workload(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

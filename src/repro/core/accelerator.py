@@ -56,9 +56,13 @@ class DcartAccelerator(Engine):
         self,
         platform: Platform = FPGA_PLATFORM,
         config: Optional[DCARTConfig] = None,
+        injector=None,
     ):
         super().__init__(platform)
         self.config = config if config is not None else DCARTConfig()
+        #: Optional :class:`~repro.faults.FaultInjector` (chaos harness);
+        #: ``None`` models the perfect machine.
+        self.injector = injector
 
     # ------------------------------------------------------------------
 
@@ -87,6 +91,9 @@ class DcartAccelerator(Engine):
             ValueAwareTreeBuffer if config.value_aware_tree_buffer else LruTreeBuffer
         )
         tree_buffer = buffer_cls(config.tree_buffer_bytes)
+        injector = self.injector
+        if injector is not None:
+            injector.reset()
         sous = [
             ShortcutOperatingUnit(
                 sou_id=i,
@@ -95,6 +102,7 @@ class DcartAccelerator(Engine):
                 tree_buffer=tree_buffer,
                 costs=costs,
                 shared_depth_bytes=extractor.byte_offset,
+                injector=injector,
             )
             for i in range(config.n_sous)
         ]
@@ -106,15 +114,22 @@ class DcartAccelerator(Engine):
         global_sync_ops = 0
         sync_cycles_total = 0
         offchip_lines_total = 0
+        redispatch_cycles_total = 0
 
-        for batch in workload.operations.batches(config.batch_size):
+        for batch_index, batch in enumerate(
+            workload.operations.batches(config.batch_size)
+        ):
             tree_buffer.decay()
+            if injector is not None:
+                injector.start_batch(
+                    batch_index, dispatcher, shortcuts, tree_buffer
+                )
             if config.enable_combining:
                 pcu_outcome = pcu.combine_batch(batch)
                 dispatched = dispatcher.dispatch(tables)
                 pcu_cycles.append(pcu_outcome.cycles)
             else:
-                dispatched = self._round_robin(batch)
+                dispatched = self._round_robin(batch, dispatcher)
                 pcu_cycles.append(0)
 
             outcomes = [sous[b.sou_id].process_bucket(b) for b in dispatched]
@@ -156,15 +171,28 @@ class DcartAccelerator(Engine):
                 offchip_bytes += sum(o.shortcut_misses for o in outcomes) * (
                     SHORTCUT_ENTRY_BYTES
                 )
+            hbm_gb_s = costs.hbm_bandwidth_gb_s
+            if injector is not None:
+                # A throttle window narrows the effective HBM bandwidth.
+                hbm_gb_s *= injector.bandwidth_factor()
             bandwidth_cycles = int(
-                offchip_bytes
-                / (costs.hbm_bandwidth_gb_s * 1e9)
-                * costs.clock_hz
+                offchip_bytes / (hbm_gb_s * 1e9) * costs.clock_hz
             )
             offchip_lines_total += batch_offchip_lines
-            sou_cycles.append(
-                max(compute_cycles, bandwidth_cycles) + batch_sync_cycles
+            # Failover re-dispatch: the Dispatcher re-targets each of a
+            # failed unit's buckets, serialised like any dispatch step.
+            redispatch_cycles = (
+                dispatcher.failovers_last_batch * costs.redispatch_cycles
             )
+            redispatch_cycles_total += redispatch_cycles
+            batch_cycles = (
+                max(compute_cycles, bandwidth_cycles)
+                + batch_sync_cycles
+                + redispatch_cycles
+            )
+            sou_cycles.append(batch_cycles)
+            if injector is not None:
+                injector.end_batch(batch_index, len(batch), batch_cycles, per_sou)
 
         timeline = overlap_timeline(pcu_cycles, sou_cycles, config.enable_overlap)
         elapsed = timeline.total_cycles * costs.cycle_seconds
@@ -199,8 +227,16 @@ class DcartAccelerator(Engine):
                 "total_cycles": timeline.total_cycles,
                 "offchip_lines": offchip_lines_total,
                 "global_sync_ops": global_sync_ops,
+                "spilled_bytes": tables.spilled_bytes,
             }
         )
+        if injector is not None:
+            result.extra.update(injector.snapshot())
+            result.extra["failover_buckets"] = dispatcher.failovers
+            result.extra["redispatch_cycles"] = redispatch_cycles_total
+            result.extra["stale_shortcut_repairs"] = sum(
+                o.stale_shortcuts for os in batch_outcomes for o in os
+            )
         return result
 
     # ------------------------------------------------------------------
@@ -213,16 +249,32 @@ class DcartAccelerator(Engine):
         sample = workload.loaded_keys[:CALIBRATION_SAMPLE]
         return PrefixExtractor.calibrate(sample, self.config.n_buckets)
 
-    def _round_robin(self, batch: List[Operation]) -> List[DispatchedBucket]:
-        """No-combining ablation: arrival order, round-robin over SOUs."""
+    def _round_robin(
+        self, batch: List[Operation], dispatcher: Dispatcher
+    ) -> List[DispatchedBucket]:
+        """No-combining ablation: arrival order, round-robin over SOUs.
+
+        Routing still goes through the dispatcher so fail-stopped units
+        are skipped (their slices fail over like any bucket would).
+        """
         per_sou: List[List[Operation]] = [[] for _ in range(self.config.n_sous)]
         for i, op in enumerate(batch):
             per_sou[i % self.config.n_sous].append(op)
-        return [
-            DispatchedBucket(bucket_id=i, sou_id=i, operations=ops, value=len(ops))
-            for i, ops in enumerate(per_sou)
-            if ops
-        ]
+        dispatcher.failovers_last_batch = 0
+        out: List[DispatchedBucket] = []
+        for i, ops in enumerate(per_sou):
+            if not ops:
+                continue
+            sou_id = dispatcher.route(i)
+            if sou_id != i:
+                dispatcher.failovers += 1
+                dispatcher.failovers_last_batch += 1
+            out.append(
+                DispatchedBucket(
+                    bucket_id=i, sou_id=sou_id, operations=ops, value=len(ops)
+                )
+            )
+        return out
 
     @staticmethod
     def _uncombined_conflicts(batch: List[Operation]) -> int:

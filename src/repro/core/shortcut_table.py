@@ -29,6 +29,10 @@ class ShortcutEntry:
     key: bytes
     target_address: int
     parent_address: Optional[int]
+    #: Set by the fault injector: the addresses were tampered with, so a
+    #: hit will fail validation and trigger the SOU's retry-then-repair
+    #: path (see :mod:`repro.faults.injector`).
+    corrupted: bool = False
 
 
 class ShortcutTable:
@@ -40,9 +44,32 @@ class ShortcutTable:
         self.generated = 0
         self.updated = 0
         self.stale_hits = 0
+        self.corrupted = 0
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def entry_keys(self):
+        """Live entry keys (the fault injector samples its victims here)."""
+        return self._entries.keys()
+
+    def corrupt(self, key: bytes) -> bool:
+        """Tamper with an entry so its addresses dangle (fault injection).
+
+        The corrupted addresses are a deterministic function of the
+        originals (bit-flipped into the negative range, which the bump
+        allocator never issues), so the same schedule always produces
+        the same broken table.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        entry.target_address = -entry.target_address - 1
+        if entry.parent_address is not None:
+            entry.parent_address = -entry.parent_address - 1
+        entry.corrupted = True
+        self.corrupted += 1
+        return True
 
     def lookup(self, key: bytes) -> tuple:
         """Probe for ``key``.

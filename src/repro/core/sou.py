@@ -23,6 +23,7 @@ type of Node_X" requires.
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
@@ -56,6 +57,10 @@ class BucketOutcome:
     shortcut_hits: int = 0
     shortcut_misses: int = 0
     stale_shortcuts: int = 0
+    #: Stale hits whose entry was tampered with by fault injection; each
+    #: paid a bounded retry-with-backoff before falling back to a full
+    #: traversal (see :mod:`repro.faults`).
+    corrupted_shortcut_hits: int = 0
     traversals: int = 0
     # (target_node_id, is_write) of ops that modified an ancestor shared
     # across buckets — the only ops needing cross-SOU synchronisation.
@@ -82,6 +87,7 @@ class ShortcutOperatingUnit:
         tree_buffer,
         costs: FpgaCosts,
         shared_depth_bytes: int,
+        injector=None,
     ):
         self.sou_id = sou_id
         self.tree = tree
@@ -91,6 +97,9 @@ class ShortcutOperatingUnit:
         #: Key-byte depth at or above which a node is shared across
         #: buckets (ancestors of the bucket-discriminating byte).
         self.shared_depth_bytes = shared_depth_bytes
+        #: Optional :class:`~repro.faults.FaultInjector`: supplies the
+        #: slow-down multiplier and accounts corrupted-shortcut retries.
+        self.injector = injector
 
     # ------------------------------------------------------------------
 
@@ -99,9 +108,17 @@ class ShortcutOperatingUnit:
         outcome.coalesced_contended_groups = count_contended_groups(
             bucket.operations
         )
+        slowdown = (
+            self.injector.slowdown_factor(self.sou_id)
+            if self.injector is not None
+            else 1.0
+        )
         clock = 0
         for op in bucket.operations:
-            clock += self._process_op(op, bucket.value, outcome)
+            cycles = self._process_op(op, bucket.value, outcome)
+            if slowdown > 1.0:
+                cycles = math.ceil(cycles * slowdown)
+            clock += cycles
             outcome.completion_cycles.append(clock)
             outcome.op_ids.append(op.op_id)
             outcome.n_ops += 1
@@ -129,6 +146,12 @@ class ShortcutOperatingUnit:
                 )
                 if served:
                     return max(PIPELINE_II, stall_cycles + fast_cycles)
+                if entry.corrupted:
+                    # Fault-injected corruption: the unit retries the
+                    # off-chip table with exponential backoff before
+                    # conceding (a transient-corruption heuristic), then
+                    # repairs by full traversal like any stale entry.
+                    stall_cycles += self._corrupted_retry(outcome)
                 outcome.stale_shortcuts += 1
                 self.shortcuts.note_stale(op.key)
 
@@ -168,6 +191,18 @@ class ShortcutOperatingUnit:
             self.shortcuts.drop(op.key)
 
         return max(PIPELINE_II, stall_cycles)
+
+    def _corrupted_retry(self, outcome: BucketOutcome) -> int:
+        """Bill the bounded retry-with-backoff on a corrupted entry."""
+        limit = (
+            self.injector.shortcut_retry_limit if self.injector is not None else 2
+        )
+        base = self.costs.shortcut_retry_base_cycles
+        retry_cycles = sum(base << attempt for attempt in range(limit))
+        outcome.corrupted_shortcut_hits += 1
+        if self.injector is not None:
+            self.injector.note_corrupted_hit(retry_cycles)
+        return retry_cycles
 
     def _try_shortcut_path(
         self, op: Operation, entry, bucket_value: int, outcome: BucketOutcome

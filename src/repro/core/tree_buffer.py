@@ -141,6 +141,10 @@ class ValueAwareTreeBuffer:
         self.used_bytes -= entry[2]
         return True
 
+    def resident_addresses(self) -> list:
+        """Addresses currently cached (fault-injection storm targets)."""
+        return list(self._resident.keys())
+
     def decay(self, factor: float = 0.5) -> None:
         """Age every resident value (called once per batch).
 
@@ -205,6 +209,10 @@ class LruTreeBuffer:
 
     def invalidate(self, address: int) -> bool:
         return self._lru.remove(address)
+
+    def resident_addresses(self) -> list:
+        """Addresses currently cached (fault-injection storm targets)."""
+        return self._lru.keys()
 
     @property
     def hits(self) -> int:

@@ -11,6 +11,8 @@ indicate a bug in the simulator itself and are worth reporting).
 
 from __future__ import annotations
 
+from typing import Dict, Optional
+
 
 class ReproError(Exception):
     """Base class for every exception raised by :mod:`repro`."""
@@ -66,3 +68,49 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload specification is invalid or cannot be generated."""
+
+
+class FaultError(ReproError):
+    """Base class for injected-fault failures (the chaos harness).
+
+    Unlike :class:`SimulationError`, a ``FaultError`` is an *expected*
+    outcome of a faulted run: the machine was broken on purpose and could
+    not degrade gracefully any further.  It carries a structured
+    ``diagnostics`` payload (per-unit state at the moment of failure)
+    that round-trips through :meth:`to_dict`/:meth:`from_dict` so a
+    harness can log, ship, and re-hydrate the failure report.
+    """
+
+    def __init__(self, message: str, diagnostics: Optional[Dict] = None):
+        super().__init__(message)
+        self.message = message
+        self.diagnostics: Dict = dict(diagnostics or {})
+
+    def to_dict(self) -> Dict:
+        """Serialise the failure for logs/telemetry (JSON-safe)."""
+        return {
+            "type": type(self).__name__,
+            "message": self.message,
+            "diagnostics": self.diagnostics,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "FaultError":
+        """Re-hydrate a failure report produced by :meth:`to_dict`."""
+        subtype = _FAULT_TYPES.get(payload.get("type", ""), cls)
+        return subtype(payload["message"], payload.get("diagnostics"))
+
+
+class SouFailedError(FaultError):
+    """No surviving SOU could take over a failed unit's buckets."""
+
+
+class WatchdogTimeout(FaultError):
+    """A batch exceeded its cycle budget and was aborted by the watchdog."""
+
+
+_FAULT_TYPES = {
+    "FaultError": FaultError,
+    "SouFailedError": SouFailedError,
+    "WatchdogTimeout": WatchdogTimeout,
+}

@@ -1,0 +1,268 @@
+"""Deterministic fault plans for the chaos harness.
+
+A schedule is a frozen, sorted tuple of fault events pinned to batch
+indices.  Everything is a pure function of the seed and the generator
+parameters — two schedules built with the same arguments are equal and
+share a byte-identical :meth:`FaultSchedule.signature`, which is what
+makes a chaos run reproducible end to end (fuzzbench-style: the seed
+*is* the scenario).
+
+Five event kinds model the failure modes a deployed accelerator sees:
+
+* :class:`SouFailStop`      — an SOU dies at batch *k* and never returns;
+* :class:`SouSlowdown`      — an SOU runs ``factor``× slower over a
+  batch window (thermal throttling, a flaky HBM pseudo-channel);
+* :class:`ShortcutCorruption` — ``n_entries`` Shortcut_Table rows get
+  dangling target addresses at batch *k* (bit flips in off-chip DRAM);
+* :class:`BufferStorm`      — a fraction of the Tree_buffer is
+  invalidated at batch *k* (ECC scrub, partial reconfiguration);
+* :class:`HbmThrottle`      — HBM bandwidth drops to ``factor`` of
+  nominal over a batch window (shared-bus interference).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from random import Random
+from typing import Iterator, List, Tuple, Union
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SouFailStop:
+    """SOU ``sou_id`` fail-stops at the start of batch ``batch``."""
+
+    batch: int
+    sou_id: int
+
+    def describe(self) -> str:
+        return f"batch {self.batch}: SOU {self.sou_id} fail-stop"
+
+
+@dataclass(frozen=True)
+class SouSlowdown:
+    """SOU ``sou_id`` runs ``factor``x slower on batches [start, end]."""
+
+    start_batch: int
+    end_batch: int
+    sou_id: int
+    factor: float
+
+    def __post_init__(self):
+        if self.factor < 1.0:
+            raise ConfigError(f"slowdown factor must be >= 1: {self.factor}")
+        if self.end_batch < self.start_batch:
+            raise ConfigError(
+                f"slowdown window inverted: [{self.start_batch}, {self.end_batch}]"
+            )
+
+    def describe(self) -> str:
+        return (
+            f"batches {self.start_batch}-{self.end_batch}: "
+            f"SOU {self.sou_id} slowed {self.factor:g}x"
+        )
+
+
+@dataclass(frozen=True)
+class ShortcutCorruption:
+    """``n_entries`` shortcut rows corrupted at the start of ``batch``."""
+
+    batch: int
+    n_entries: int
+
+    def __post_init__(self):
+        if self.n_entries <= 0:
+            raise ConfigError(f"n_entries must be positive: {self.n_entries}")
+
+    def describe(self) -> str:
+        return f"batch {self.batch}: {self.n_entries} shortcut entries corrupted"
+
+
+@dataclass(frozen=True)
+class BufferStorm:
+    """A ``fraction`` of resident Tree_buffer nodes invalidated at ``batch``."""
+
+    batch: int
+    fraction: float
+
+    def __post_init__(self):
+        if not 0.0 < self.fraction <= 1.0:
+            raise ConfigError(f"storm fraction must be in (0, 1]: {self.fraction}")
+
+    def describe(self) -> str:
+        return (
+            f"batch {self.batch}: Tree_buffer invalidation storm "
+            f"({100 * self.fraction:.0f} %)"
+        )
+
+
+@dataclass(frozen=True)
+class HbmThrottle:
+    """HBM bandwidth multiplied by ``factor`` on batches [start, end]."""
+
+    start_batch: int
+    end_batch: int
+    factor: float
+
+    def __post_init__(self):
+        if not 0.0 < self.factor <= 1.0:
+            raise ConfigError(f"throttle factor must be in (0, 1]: {self.factor}")
+        if self.end_batch < self.start_batch:
+            raise ConfigError(
+                f"throttle window inverted: [{self.start_batch}, {self.end_batch}]"
+            )
+
+    def describe(self) -> str:
+        return (
+            f"batches {self.start_batch}-{self.end_batch}: "
+            f"HBM throttled to {100 * self.factor:.0f} %"
+        )
+
+
+FaultEvent = Union[
+    SouFailStop, SouSlowdown, ShortcutCorruption, BufferStorm, HbmThrottle
+]
+
+#: Stable ordering for signature/replay: (first batch, kind name, repr).
+def _event_key(event: FaultEvent) -> Tuple[int, str, str]:
+    first = getattr(event, "batch", None)
+    if first is None:
+        first = event.start_batch
+    return (first, type(event).__name__, repr(event))
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A seeded, immutable plan of fault events."""
+
+    seed: int
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "events", tuple(sorted(self.events, key=_event_key))
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    # ------------------------------------------------------------------
+    # queries the injector replays per batch
+    # ------------------------------------------------------------------
+
+    def point_events_at(self, batch: int) -> List[FaultEvent]:
+        """Fail-stops, corruptions, and storms due exactly at ``batch``."""
+        return [
+            e for e in self.events if getattr(e, "batch", None) == batch
+        ]
+
+    def slowdown_factor(self, batch: int, sou_id: int) -> float:
+        """Combined slowdown multiplier on ``sou_id`` during ``batch``."""
+        factor = 1.0
+        for event in self.events:
+            if (
+                isinstance(event, SouSlowdown)
+                and event.sou_id == sou_id
+                and event.start_batch <= batch <= event.end_batch
+            ):
+                factor *= event.factor
+        return factor
+
+    def bandwidth_factor(self, batch: int) -> float:
+        """Combined HBM bandwidth multiplier during ``batch``."""
+        factor = 1.0
+        for event in self.events:
+            if (
+                isinstance(event, HbmThrottle)
+                and event.start_batch <= batch <= event.end_batch
+            ):
+                factor *= event.factor
+        return max(factor, 1e-6)
+
+    # ------------------------------------------------------------------
+
+    def signature(self) -> str:
+        """Content hash of the plan — equal seeds give equal signatures."""
+        canonical = f"seed={self.seed};" + ";".join(
+            repr(e) for e in self.events
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def describe(self) -> str:
+        lines = [f"fault schedule (seed {self.seed}, {len(self.events)} events)"]
+        lines.extend(f"  {event.describe()}" for event in self.events)
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # generators
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def fail_sous(
+        cls,
+        n_failed: int,
+        seed: int,
+        n_sous: int = 16,
+        at_batch: int = 0,
+    ) -> "FaultSchedule":
+        """Fail-stop ``n_failed`` distinct SOUs, chosen by the seed.
+
+        The failed unit set is a deterministic sample of the seed, so
+        ``--fail-sous 4 --seed 1`` always kills the same four units.
+        """
+        if not 0 <= n_failed < n_sous:
+            raise ConfigError(
+                f"n_failed must be in [0, n_sous): {n_failed} of {n_sous}"
+            )
+        victims = Random(seed).sample(range(n_sous), n_failed)
+        return cls(
+            seed=seed,
+            events=tuple(SouFailStop(at_batch, sou) for sou in sorted(victims)),
+        )
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        n_sous: int = 16,
+        n_batches: int = 8,
+        n_fail_stops: int = 1,
+        n_slowdowns: int = 1,
+        n_corruptions: int = 1,
+        n_storms: int = 1,
+        n_throttles: int = 1,
+    ) -> "FaultSchedule":
+        """A mixed chaos scenario drawn deterministically from the seed."""
+        if n_batches <= 0:
+            raise ConfigError(f"n_batches must be positive: {n_batches}")
+        if n_fail_stops >= n_sous:
+            raise ConfigError(
+                f"cannot fail-stop every SOU: {n_fail_stops} of {n_sous}"
+            )
+        rng = Random(seed)
+        events: List[FaultEvent] = []
+        victims = rng.sample(range(n_sous), min(n_fail_stops + n_slowdowns, n_sous))
+        for sou in victims[:n_fail_stops]:
+            events.append(SouFailStop(rng.randrange(n_batches), sou))
+        for sou in victims[n_fail_stops:]:
+            start = rng.randrange(n_batches)
+            end = min(n_batches - 1, start + rng.randrange(1, 4))
+            events.append(SouSlowdown(start, end, sou, rng.choice((2.0, 4.0, 8.0))))
+        for _ in range(n_corruptions):
+            events.append(
+                ShortcutCorruption(rng.randrange(n_batches), rng.randrange(16, 256))
+            )
+        for _ in range(n_storms):
+            events.append(
+                BufferStorm(rng.randrange(n_batches), rng.choice((0.25, 0.5, 1.0)))
+            )
+        for _ in range(n_throttles):
+            start = rng.randrange(n_batches)
+            end = min(n_batches - 1, start + rng.randrange(1, 4))
+            events.append(HbmThrottle(start, end, rng.choice((0.25, 0.5, 0.75))))
+        return cls(seed=seed, events=tuple(events))

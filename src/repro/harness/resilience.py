@@ -1,0 +1,206 @@
+"""Graceful-degradation experiments (the chaos harness's headline curve).
+
+The contract a fault-tolerant accelerator must honour: unit failures
+cost *throughput*, never *correctness*.  :func:`chaos_run` executes one
+faulted DCART run, re-validates every ART invariant on the final tree,
+and compares against the healthy baseline; :func:`degradation_curve`
+sweeps the number of fail-stopped SOUs (0..15) and reports throughput,
+p99 latency, and the degradation factor next to the *proportional*
+limit — ``n_sous / survivors``, what a perfectly rebalanced machine
+would lose.  Graceful means staying within 2x of proportional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.art.validate import ValidationReport, validate_tree
+from repro.core.accelerator import DcartAccelerator
+from repro.core.config import DCARTConfig
+from repro.engines.base import RunResult
+from repro.faults import FaultInjector, FaultSchedule, Watchdog
+from repro.harness.experiments import ExperimentResult
+from repro.harness.runner import scaled_dcart_config
+from repro.log import get_logger
+from repro.workloads import make_workload
+
+LOG = get_logger("resilience")
+
+#: Default chaos scale: small enough for CI, large enough for >= 8
+#: batches so mid-run faults land in a live pipeline.
+DEFAULT_KEYS = 2_000
+DEFAULT_OPS = 20_000
+DEFAULT_BATCH_SIZE = 2_048
+
+#: Graceful-degradation bound: observed slowdown may not exceed this
+#: multiple of the proportional capacity loss.
+GRACEFUL_FACTOR = 2.0
+
+
+def chaos_config(
+    n_keys: int = DEFAULT_KEYS, batch_size: int = DEFAULT_BATCH_SIZE
+) -> DCARTConfig:
+    """Cache-scaled DCART config with a chaos-friendly batch size."""
+    return scaled_dcart_config(n_keys, DCARTConfig(batch_size=batch_size))
+
+
+@dataclass
+class ChaosOutcome:
+    """One faulted run, its healthy baseline, and the correctness oracle."""
+
+    schedule: FaultSchedule
+    result: RunResult
+    baseline: RunResult
+    validation: ValidationReport
+    n_sous: int
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.result.extra.get("failed_sous", ()))
+
+    @property
+    def degradation(self) -> float:
+        """Observed slowdown: healthy throughput over faulted throughput."""
+        if self.result.throughput_mops == 0:
+            return float("inf")
+        return self.baseline.throughput_mops / self.result.throughput_mops
+
+    @property
+    def proportional_loss(self) -> float:
+        """Slowdown of a perfectly rebalanced machine losing those units."""
+        survivors = self.n_sous - self.n_failed
+        if survivors <= 0:
+            return float("inf")
+        return self.n_sous / survivors
+
+    @property
+    def graceful(self) -> bool:
+        """Within the 2x-of-proportional degradation bound, and correct."""
+        return (
+            self.validation.ok
+            and self.degradation <= GRACEFUL_FACTOR * self.proportional_loss
+        )
+
+    def summary(self) -> str:
+        return (
+            f"chaos: {self.n_failed}/{self.n_sous} SOUs failed, "
+            f"{self.result.throughput_mops:.2f} Mops/s "
+            f"(healthy {self.baseline.throughput_mops:.2f}), "
+            f"degradation {self.degradation:.2f}x "
+            f"(proportional {self.proportional_loss:.2f}x), "
+            f"tree {self.validation.summary()}"
+        )
+
+
+def chaos_run(
+    n_failed: int = 0,
+    seed: int = 1,
+    workload_name: str = "IPGEO",
+    n_keys: int = DEFAULT_KEYS,
+    n_ops: int = DEFAULT_OPS,
+    schedule: Optional[FaultSchedule] = None,
+    config: Optional[DCARTConfig] = None,
+    watchdog: Optional[Watchdog] = None,
+    workload=None,
+    baseline: Optional[RunResult] = None,
+) -> ChaosOutcome:
+    """Run DCART under one fault schedule and validate the outcome.
+
+    With no explicit ``schedule``, fail-stops ``n_failed`` seed-chosen
+    SOUs at batch 0.  ``workload``/``baseline``/``config`` may be passed
+    in to share across a sweep; anything omitted is built here.
+    A :class:`~repro.errors.FaultError` (watchdog, all units dead)
+    propagates to the caller — that *is* the experiment's result for
+    non-survivable scenarios.
+    """
+    if config is None:
+        config = chaos_config(n_keys)
+    if workload is None:
+        workload = make_workload(
+            workload_name, n_keys=n_keys, n_ops=n_ops, seed=seed
+        )
+    if schedule is None:
+        schedule = FaultSchedule.fail_sous(
+            n_failed, seed, n_sous=config.n_sous, at_batch=0
+        )
+    if baseline is None:
+        baseline = DcartAccelerator(config=config).run(workload)
+
+    injector = FaultInjector(schedule, watchdog=watchdog)
+    accelerator = DcartAccelerator(config=config, injector=injector)
+    tree = accelerator.build_tree(workload)
+    LOG.info("chaos run starting: %s", schedule.describe())
+    result = accelerator.run(workload, tree=tree)
+    validation = validate_tree(tree)
+    outcome = ChaosOutcome(
+        schedule=schedule,
+        result=result,
+        baseline=baseline,
+        validation=validation,
+        n_sous=config.n_sous,
+    )
+    LOG.info("%s", outcome.summary())
+    return outcome
+
+
+def degradation_curve(
+    n_keys: int = DEFAULT_KEYS,
+    n_ops: int = DEFAULT_OPS,
+    seed: int = 1,
+    workload_name: str = "IPGEO",
+    max_failed: Optional[int] = None,
+) -> ExperimentResult:
+    """Throughput and p99 latency vs. number of fail-stopped SOUs.
+
+    The headline resilience figure: one row per failure count from 0 to
+    ``n_sous - 1``, the whole curve sharing one workload and one healthy
+    baseline so every difference is the fault model's doing.
+    """
+    config = chaos_config(n_keys)
+    if max_failed is None:
+        max_failed = config.n_sous - 1
+    workload = make_workload(workload_name, n_keys=n_keys, n_ops=n_ops, seed=seed)
+    baseline = DcartAccelerator(config=config).run(workload)
+
+    rows = []
+    raw: dict = {workload_name: {}}
+    for n_failed in range(0, max_failed + 1):
+        outcome = chaos_run(
+            n_failed=n_failed,
+            seed=seed,
+            config=config,
+            workload=workload,
+            baseline=baseline,
+        )
+        raw[workload_name][f"failed={n_failed}"] = outcome.result
+        rows.append(
+            [
+                n_failed,
+                outcome.result.throughput_mops,
+                outcome.result.p99_latency_us,
+                outcome.degradation,
+                outcome.proportional_loss,
+                "yes" if outcome.graceful else "NO",
+                "ok" if outcome.validation.ok else "BROKEN",
+            ]
+        )
+    return ExperimentResult(
+        f"Resilience - degradation vs. failed SOUs ({workload_name})",
+        [
+            "failed SOUs",
+            "Mops/s",
+            "p99 (us)",
+            "degradation (x)",
+            "proportional (x)",
+            "graceful",
+            "tree",
+        ],
+        rows,
+        notes=(
+            "graceful = degradation within "
+            f"{GRACEFUL_FACTOR:g}x of the proportional capacity loss; "
+            "tree = ART invariant validator verdict on the final tree"
+        ),
+        raw=raw,
+    )

@@ -1,0 +1,65 @@
+"""Library logging: silent by default, switchable from the CLI.
+
+The package logs through the standard :mod:`logging` hierarchy under the
+``"repro"`` root logger.  A library must never print unless asked
+(PEP 282 etiquette), so the root carries a :class:`logging.NullHandler`
+until :func:`configure` installs a real one — which is what the CLI's
+``--log-level`` flag does.  Fault injections, failovers, and watchdog
+fires are the main emitters; at ``INFO`` a chaos run narrates every
+event it applies, at ``WARNING`` only the aborts surface.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, Union
+
+ROOT_LOGGER = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+_configured_handler: Optional[logging.Handler] = None
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return the package logger (or a ``repro.<name>`` child)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if name.startswith(ROOT_LOGGER + ".") or name == ROOT_LOGGER:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def configure(level: Union[int, str], stream=None) -> logging.Logger:
+    """Attach a stream handler at ``level`` to the package logger.
+
+    Idempotent: calling again replaces the previous handler (so tests
+    and repeated CLI invocations never stack duplicates).  ``level``
+    accepts either a :mod:`logging` constant or a name like ``"info"``.
+    """
+    global _configured_handler
+    if isinstance(level, str):
+        name = level
+        level = logging.getLevelName(name.upper())
+        if not isinstance(level, int):
+            raise ValueError(f"unknown log level: {name}")
+    logger = logging.getLogger(ROOT_LOGGER)
+    if _configured_handler is not None:
+        logger.removeHandler(_configured_handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    _configured_handler = handler
+    return logger
+
+
+def reset() -> None:
+    """Remove the configured handler (return to library-silent mode)."""
+    global _configured_handler
+    if _configured_handler is not None:
+        logging.getLogger(ROOT_LOGGER).removeHandler(_configured_handler)
+        _configured_handler = None

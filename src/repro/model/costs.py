@@ -115,6 +115,10 @@ class FpgaCosts:
     # cross-bucket structural sync (a global lock among SOUs)
     global_sync_cycles: int = 40
     hbm_bandwidth_gb_s: float = 460.0
+    # fault handling (chaos harness): re-targeting a failed unit's
+    # bucket, and the backoff base of a corrupted-shortcut retry.
+    redispatch_cycles: int = 6
+    shortcut_retry_base_cycles: int = 4
 
     def __post_init__(self):
         _positive(

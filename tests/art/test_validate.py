@@ -1,0 +1,112 @@
+"""Tests for the standalone ART structural-invariant validator."""
+
+import random
+
+import pytest
+
+from repro.art.nodes import Leaf, Node4
+from repro.art.tree import AdaptiveRadixTree
+from repro.art.validate import assert_valid, validate_tree
+from repro.errors import TreeError
+
+
+def build_tree(n_keys=400, seed=3, deletes=100):
+    rng = random.Random(seed)
+    tree = AdaptiveRadixTree()
+    keys = [bytes([rng.randrange(256) for _ in range(8)]) for _ in range(n_keys)]
+    keys = sorted(set(keys))
+    for i, key in enumerate(keys):
+        tree.insert(key, i)
+    for key in rng.sample(keys, min(deletes, len(keys))):
+        tree.delete(key)
+    return tree
+
+
+class TestValidTrees:
+    def test_empty_tree_valid(self):
+        report = validate_tree(AdaptiveRadixTree())
+        assert report.ok
+        assert report.nodes_checked == 0
+        assert "OK" in report.summary()
+
+    def test_single_key_tree_valid(self):
+        tree = AdaptiveRadixTree()
+        tree.insert(b"\x01\x02\x03", "v")
+        report = validate_tree(tree)
+        assert report.ok
+        assert report.leaves_seen == 1
+
+    def test_mixed_workload_tree_valid(self):
+        tree = build_tree()
+        report = assert_valid(tree)
+        assert report.leaves_seen == len(tree)
+        assert report.nodes_checked > report.leaves_seen
+
+    def test_all_node_types_exercised(self):
+        # 0..255 single-byte keys forces N4 -> N16 -> N48 -> N256 growth.
+        tree = AdaptiveRadixTree()
+        for byte in range(256):
+            tree.insert(bytes([byte, 0]), byte)
+        assert validate_tree(tree).ok
+        for byte in range(200):
+            tree.delete(bytes([byte, 0]))
+        assert validate_tree(tree).ok
+
+
+class TestBrokenTrees:
+    def test_unsorted_keys_detected(self):
+        tree = build_tree(n_keys=50, deletes=0)
+        node = tree.root
+        while not isinstance(node, Node4):
+            node = next(child for _, child in node.children_items()
+                        if not isinstance(child, Leaf))
+        node.keys.reverse()
+        node.children.reverse()
+        report = validate_tree(tree)
+        assert not report.ok
+        assert any(v.kind == "ordering" for v in report.violations)
+
+    def test_bad_prefix_detected(self):
+        tree = build_tree(n_keys=50, deletes=0)
+        leaf = tree.root
+        while not isinstance(leaf, Leaf):
+            leaf = next(iter(leaf.children_items()))[1]
+        leaf.key = b"\xff" * len(leaf.key)
+        report = validate_tree(tree)
+        assert not report.ok
+        assert any(v.kind == "prefix" for v in report.violations)
+
+    def test_leaked_registration_detected(self):
+        tree = build_tree(n_keys=50, deletes=0)
+        orphan = tree._register(Leaf(b"\x00" * 8, "orphan"))
+        report = validate_tree(tree)
+        assert not report.ok
+        assert any(
+            v.kind == "reachability" and str(orphan.address) in v.detail
+            for v in report.violations
+        )
+
+    def test_underfull_n4_detected(self):
+        tree = build_tree(n_keys=50, deletes=0)
+        node = tree.root
+        while not isinstance(node, Node4):
+            node = next(child for _, child in node.children_items()
+                        if not isinstance(child, Leaf))
+        while node.num_children > 1:
+            node.remove_child(node.keys[-1])
+        report = validate_tree(tree)
+        assert not report.ok
+        assert any(v.kind == "occupancy" for v in report.violations)
+
+    def test_raise_if_failed_raises_tree_error(self):
+        tree = build_tree(n_keys=30, deletes=0)
+        tree._register(Leaf(b"\x00" * 8, "orphan"))
+        with pytest.raises(TreeError, match="invariant validation failed"):
+            assert_valid(tree)
+
+    def test_count_mismatch_detected(self):
+        tree = build_tree(n_keys=30, deletes=0)
+        tree._size += 1  # simulate lost bookkeeping
+        report = validate_tree(tree)
+        assert not report.ok
+        assert any("reachable leaves" in v.detail for v in report.violations)

@@ -98,6 +98,21 @@ class TestMechanisms:
         assert 0 < result.lock_contentions < writes
 
 
+class TestBucketBufferSpill:
+    def test_no_spill_with_roomy_buffer(self, result):
+        assert result.extra["spilled_bytes"] == 0
+
+    def test_tiny_buffer_overflows_and_is_reported(self, workload):
+        # 4096 ops/batch at 24 B/record >> 1 KB of Bucket_buffer: the
+        # overflow must spill to HBM and surface in the run result.
+        config = DCARTConfig(batch_size=4096, bucket_buffer_bytes=1024)
+        spilled = DcartAccelerator(config=config).run(workload)
+        assert spilled.extra["spilled_bytes"] > 0
+        roomy = DcartAccelerator(config=DCARTConfig(batch_size=4096)).run(workload)
+        # The spill is billed: PCU writes the overflow out and back.
+        assert spilled.elapsed_seconds > roomy.elapsed_seconds
+
+
 class TestAblationSwitches:
     def test_no_shortcuts_increases_matches(self, workload):
         base = DcartAccelerator(config=DCARTConfig(batch_size=4096)).run(workload)

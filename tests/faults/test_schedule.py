@@ -1,0 +1,123 @@
+"""Tests for the deterministic fault schedule."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import (
+    BufferStorm,
+    FaultSchedule,
+    HbmThrottle,
+    ShortcutCorruption,
+    SouFailStop,
+    SouSlowdown,
+)
+
+
+class TestEventValidation:
+    def test_slowdown_factor_below_one_rejected(self):
+        with pytest.raises(ConfigError):
+            SouSlowdown(0, 1, sou_id=0, factor=0.5)
+
+    def test_inverted_windows_rejected(self):
+        with pytest.raises(ConfigError):
+            SouSlowdown(3, 1, sou_id=0, factor=2.0)
+        with pytest.raises(ConfigError):
+            HbmThrottle(3, 1, factor=0.5)
+
+    def test_throttle_factor_bounds(self):
+        with pytest.raises(ConfigError):
+            HbmThrottle(0, 1, factor=0.0)
+        with pytest.raises(ConfigError):
+            HbmThrottle(0, 1, factor=1.5)
+
+    def test_storm_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            BufferStorm(0, fraction=0.0)
+        with pytest.raises(ConfigError):
+            BufferStorm(0, fraction=1.5)
+
+    def test_corruption_count_positive(self):
+        with pytest.raises(ConfigError):
+            ShortcutCorruption(0, n_entries=0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = FaultSchedule.fail_sous(4, seed=1)
+        b = FaultSchedule.fail_sous(4, seed=1)
+        assert a == b
+        assert a.signature() == b.signature()
+
+    def test_different_seed_different_victims(self):
+        a = FaultSchedule.fail_sous(4, seed=1)
+        b = FaultSchedule.fail_sous(4, seed=2)
+        assert a.signature() != b.signature()
+
+    def test_generate_reproducible(self):
+        a = FaultSchedule.generate(seed=7, n_batches=8)
+        b = FaultSchedule.generate(seed=7, n_batches=8)
+        assert a == b
+        assert a.signature() == b.signature()
+
+    def test_events_sorted_regardless_of_input_order(self):
+        events = (SouFailStop(3, 1), SouFailStop(0, 2), ShortcutCorruption(1, 8))
+        a = FaultSchedule(seed=0, events=events)
+        b = FaultSchedule(seed=0, events=tuple(reversed(events)))
+        assert a.events == b.events
+        assert a.signature() == b.signature()
+
+
+class TestQueries:
+    def test_fail_sous_distinct_victims(self):
+        schedule = FaultSchedule.fail_sous(8, seed=3, n_sous=16)
+        victims = [e.sou_id for e in schedule]
+        assert len(set(victims)) == 8
+        assert all(0 <= v < 16 for v in victims)
+
+    def test_fail_sous_bounds(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule.fail_sous(16, seed=1, n_sous=16)
+        with pytest.raises(ConfigError):
+            FaultSchedule.fail_sous(-1, seed=1, n_sous=16)
+        assert len(FaultSchedule.fail_sous(0, seed=1)) == 0
+
+    def test_point_events_at(self):
+        schedule = FaultSchedule(
+            seed=0,
+            events=(
+                SouFailStop(2, 5),
+                ShortcutCorruption(2, 10),
+                BufferStorm(4, 0.5),
+                HbmThrottle(0, 9, 0.5),  # windows are not point events
+            ),
+        )
+        at2 = schedule.point_events_at(2)
+        assert {type(e).__name__ for e in at2} == {
+            "SouFailStop", "ShortcutCorruption"
+        }
+        assert schedule.point_events_at(3) == []
+
+    def test_slowdown_factors_compound(self):
+        schedule = FaultSchedule(
+            seed=0,
+            events=(
+                SouSlowdown(0, 5, sou_id=3, factor=2.0),
+                SouSlowdown(2, 3, sou_id=3, factor=4.0),
+            ),
+        )
+        assert schedule.slowdown_factor(1, 3) == 2.0
+        assert schedule.slowdown_factor(2, 3) == 8.0
+        assert schedule.slowdown_factor(6, 3) == 1.0
+        assert schedule.slowdown_factor(2, 0) == 1.0
+
+    def test_bandwidth_factor_windows(self):
+        schedule = FaultSchedule(seed=0, events=(HbmThrottle(1, 2, 0.5),))
+        assert schedule.bandwidth_factor(0) == 1.0
+        assert schedule.bandwidth_factor(1) == 0.5
+        assert schedule.bandwidth_factor(3) == 1.0
+
+    def test_describe_mentions_every_event(self):
+        schedule = FaultSchedule.generate(seed=5, n_batches=4)
+        text = schedule.describe()
+        assert f"seed 5" in text
+        assert len(text.splitlines()) == len(schedule) + 1

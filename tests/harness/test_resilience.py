@@ -1,0 +1,78 @@
+"""Tests for the chaos harness (graceful-degradation experiments)."""
+
+import pytest
+
+from repro.art.validate import ValidationReport
+from repro.harness import resilience
+from repro.workloads import make_workload
+
+N_KEYS = 800
+N_OPS = 6_000
+
+
+@pytest.fixture(scope="module")
+def shared():
+    config = resilience.chaos_config(N_KEYS)
+    workload = make_workload("IPGEO", n_keys=N_KEYS, n_ops=N_OPS, seed=1)
+    return config, workload
+
+
+class TestChaosRun:
+    def test_healthy_run_is_trivially_graceful(self, shared):
+        config, workload = shared
+        outcome = resilience.chaos_run(
+            n_failed=0, config=config, workload=workload
+        )
+        assert outcome.n_failed == 0
+        assert outcome.degradation == pytest.approx(1.0)
+        assert outcome.proportional_loss == 1.0
+        assert outcome.graceful
+        assert outcome.validation.ok
+
+    def test_failed_units_reported(self, shared):
+        config, workload = shared
+        outcome = resilience.chaos_run(
+            n_failed=3, seed=5, config=config, workload=workload
+        )
+        assert outcome.n_failed == 3
+        assert outcome.proportional_loss == pytest.approx(16 / 13)
+        assert outcome.validation.ok
+        assert "3/16 SOUs failed" in outcome.summary()
+
+    def test_broken_validation_is_not_graceful(self, shared):
+        config, workload = shared
+        outcome = resilience.chaos_run(
+            n_failed=0, config=config, workload=workload
+        )
+        outcome.validation = ValidationReport()
+        outcome.validation.add("occupancy", 1, "synthetic")
+        assert not outcome.graceful
+
+    def test_shared_baseline_reused(self, shared):
+        config, workload = shared
+        baseline = resilience.chaos_run(
+            n_failed=0, config=config, workload=workload
+        ).result
+        outcome = resilience.chaos_run(
+            n_failed=1, config=config, workload=workload, baseline=baseline
+        )
+        assert outcome.baseline is baseline
+
+
+class TestDegradationCurve:
+    def test_small_sweep_shape(self, shared):
+        curve = resilience.degradation_curve(
+            n_keys=N_KEYS, n_ops=N_OPS, max_failed=3
+        )
+        assert len(curve.rows) == 4
+        assert curve.headers[0] == "failed SOUs"
+        assert [row[0] for row in curve.rows] == [0, 1, 2, 3]
+        # Degradation is monotone non-decreasing in failed units here:
+        # the curve shares one workload, so differences are fault-made.
+        degradations = [row[3] for row in curve.rows]
+        assert degradations[0] == pytest.approx(1.0)
+        assert all(row[6] == "ok" for row in curve.rows)
+        assert all(row[5] == "yes" for row in curve.rows)
+        assert "IPGEO" in curve.experiment
+        rendered = curve.render()
+        assert "degradation" in rendered

@@ -57,6 +57,67 @@ class TestWorkloadCommand:
         assert data["n_ops"] == 800
 
 
+class TestChaosCommand:
+    ARGS = ["chaos", "--keys", "800", "--ops", "6000", "--seed", "1"]
+
+    def test_healthy_chaos_run(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "0/16 SOUs failed" in out
+        assert "schedule signature:" in out
+
+    def test_fail_sous_graceful(self, capsys):
+        assert main(self.ARGS + ["--fail-sous", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "4/16 SOUs failed" in out
+        assert "validated" in out
+
+    def test_json_output(self, capsys):
+        assert main(self.ARGS + ["--fail-sous", "2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["n_failed"] == 2
+        assert data["tree_valid"] is True
+        assert data["graceful"] is True
+        assert data["result"]["engine"] == "DCART"
+        assert len(data["schedule_signature"]) == 64
+
+    def test_mixed_faults(self, capsys):
+        assert main(self.ARGS + [
+            "--fail-sous", "2", "--corrupt-shortcuts", "64",
+            "--storm", "0.5", "--throttle", "0.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "corrupt" in out  # schedule description lists the event
+
+    def test_bad_scenario_exits_2(self, capsys):
+        assert main(self.ARGS + ["--fail-sous", "16"]) == 2
+        assert "bad chaos scenario" in capsys.readouterr().err
+
+    def test_zero_throttle_rejected(self, capsys):
+        # --throttle outside (0, 1] is a schedule error, not a crash.
+        assert main(self.ARGS + ["--throttle", "0.0"]) == 2
+
+    def test_sweep_renders_curve(self, capsys):
+        assert main([
+            "chaos", "--keys", "600", "--ops", "4000", "--sweep",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "degradation" in out
+        assert "failed SOUs" in out
+
+    def test_log_level_flag_accepted(self, capsys):
+        from repro.log import reset
+
+        try:
+            assert main(["--log-level", "WARNING"] + self.ARGS) == 0
+        finally:
+            reset()
+
+    def test_bad_log_level_exits_2(self, capsys):
+        assert main(["--log-level", "CHATTY"] + self.ARGS) == 2
+        assert "unknown log level: CHATTY" in capsys.readouterr().err
+
+
 class TestFiguresCommand:
     def test_table1_only(self, capsys):
         assert main(["figures", "--only", "table1"]) == 0

@@ -1,0 +1,94 @@
+"""Tests for the exception hierarchy (``repro.errors``)."""
+
+import json
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    DuplicateKeyError,
+    FaultError,
+    KeyEncodingError,
+    KeyNotFoundError,
+    ReproError,
+    SimulationError,
+    SouFailedError,
+    TreeError,
+    WatchdogTimeout,
+    WorkloadError,
+)
+
+SIMPLE_TYPES = [
+    ConfigError,
+    KeyEncodingError,
+    TreeError,
+    SimulationError,
+    WorkloadError,
+]
+KEYED_TYPES = [KeyNotFoundError, DuplicateKeyError]
+FAULT_TYPES = [FaultError, SouFailedError, WatchdogTimeout]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_type", SIMPLE_TYPES)
+    def test_simple_types_catchable_as_repro_error(self, exc_type):
+        with pytest.raises(ReproError):
+            raise exc_type("boom")
+
+    @pytest.mark.parametrize("exc_type", KEYED_TYPES)
+    def test_keyed_types_catchable_as_repro_error(self, exc_type):
+        with pytest.raises(ReproError):
+            raise exc_type(b"\x01\x02")
+        with pytest.raises(TreeError):
+            raise exc_type(b"\x01\x02")
+
+    @pytest.mark.parametrize("exc_type", FAULT_TYPES)
+    def test_fault_types_catchable_as_repro_error(self, exc_type):
+        with pytest.raises(ReproError):
+            raise exc_type("unit died")
+        with pytest.raises(FaultError):
+            raise exc_type("unit died")
+
+    def test_key_not_found_is_a_key_error(self):
+        """Dict-style call sites may catch plain ``KeyError``."""
+        with pytest.raises(KeyError):
+            raise KeyNotFoundError(b"\xde\xad")
+
+    def test_key_not_found_str_is_hex(self):
+        assert "dead" in str(KeyNotFoundError(b"\xde\xad"))
+        assert "dead" in str(DuplicateKeyError(b"\xde\xad"))
+
+
+class TestFaultErrorPayload:
+    def test_diagnostics_default_empty_and_copied(self):
+        err = FaultError("boom")
+        assert err.diagnostics == {}
+        source = {"sou": 3}
+        err = FaultError("boom", source)
+        source["sou"] = 9
+        assert err.diagnostics == {"sou": 3}
+
+    @pytest.mark.parametrize("exc_type", FAULT_TYPES)
+    def test_round_trip_preserves_subtype(self, exc_type):
+        original = exc_type(
+            "batch stalled", {"batch_index": 4, "failed_sous": [1, 2]}
+        )
+        payload = json.loads(json.dumps(original.to_dict()))
+        revived = FaultError.from_dict(payload)
+        assert type(revived) is exc_type
+        assert revived.message == original.message
+        assert revived.diagnostics == original.diagnostics
+
+    def test_unknown_type_falls_back_to_base(self):
+        revived = FaultError.from_dict({"type": "Exotic", "message": "m"})
+        assert type(revived) is FaultError
+        assert revived.diagnostics == {}
+
+    def test_to_dict_is_json_safe(self):
+        err = WatchdogTimeout(
+            "over budget",
+            {"per_sou_cycles": {"0": 12}, "failed_sous": [5]},
+        )
+        text = json.dumps(err.to_dict())
+        assert "WatchdogTimeout" in text
+        assert "over budget" in text

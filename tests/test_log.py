@@ -1,0 +1,75 @@
+"""Tests for the library logging module (``repro.log``)."""
+
+import io
+import logging
+
+import pytest
+
+from repro.log import ROOT_LOGGER, configure, get_logger, reset
+
+
+@pytest.fixture(autouse=True)
+def _clean():
+    reset()
+    yield
+    reset()
+    logging.getLogger(ROOT_LOGGER).setLevel(logging.NOTSET)
+
+
+class TestGetLogger:
+    def test_bare_name_is_package_root(self):
+        assert get_logger().name == "repro"
+        assert get_logger("repro").name == "repro"
+
+    def test_child_names_are_prefixed(self):
+        assert get_logger("dispatcher").name == "repro.dispatcher"
+        assert get_logger("repro.faults").name == "repro.faults"
+
+    def test_silent_by_default(self):
+        """A NullHandler means no 'No handlers could be found' noise."""
+        assert any(
+            isinstance(h, logging.NullHandler)
+            for h in logging.getLogger(ROOT_LOGGER).handlers
+        )
+
+
+class TestConfigure:
+    def test_configure_emits_to_stream(self):
+        stream = io.StringIO()
+        configure("INFO", stream=stream)
+        get_logger("chaos").info("sou %d failed", 3)
+        text = stream.getvalue()
+        assert "sou 3 failed" in text
+        assert "repro.chaos" in text
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        configure("WARNING", stream=stream)
+        get_logger("chaos").info("quiet")
+        get_logger("chaos").warning("loud")
+        assert "quiet" not in stream.getvalue()
+        assert "loud" in stream.getvalue()
+
+    def test_level_names_case_insensitive(self):
+        stream = io.StringIO()
+        configure("debug", stream=stream)
+        get_logger().debug("dbg")
+        assert "dbg" in stream.getvalue()
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure("CHATTY")
+
+    def test_reconfigure_does_not_stack_handlers(self):
+        stream = io.StringIO()
+        configure("INFO", stream=stream)
+        configure("INFO", stream=stream)
+        get_logger().info("once")
+        assert stream.getvalue().count("once") == 1
+
+    def test_reset_returns_to_silence(self):
+        stream = io.StringIO()
+        configure("INFO", stream=stream)
+        reset()
+        get_logger().info("after reset")
+        assert stream.getvalue() == ""
