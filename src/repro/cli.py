@@ -10,7 +10,17 @@ Commands:
   (replayable with ``run --replay``).
 * ``chaos`` — fault-injection run (``--fail-sous N``, corruption,
   storms, throttling) with graceful-degradation and invariant checks;
-  ``--sweep`` produces the full degradation curve.
+  ``--sweep`` produces the full degradation curve.  ``--json [PATH]``
+  emits the outcome (or the sweep's curve) as JSON, to stdout or PATH.
+* ``checkpoint`` — run DCART with the durability subsystem attached
+  (WAL per batch, checkpoint every N batches) into a directory.
+* ``recover`` — rebuild the tree from a durability directory (latest
+  valid checkpoint + committed WAL tail) and validate it; or, with
+  ``--campaign N``, run the seeded crash–recover–validate loop.
+
+Every subcommand exits non-zero when its validation oracle fails: a
+broken tree after ``run``/``checkpoint``, a non-graceful or invalid
+chaos outcome (any row of a sweep), a recovery that diverges.
 
 ``--log-level`` (before the subcommand) turns on fault/event logging;
 the library stays silent by default.
@@ -22,7 +32,10 @@ Examples:
     python -m repro workload --name DICT --keys 5000 --out dict.jsonl
     python -m repro run --engine SMART --replay dict.jsonl
     python -m repro chaos --fail-sous 4 --seed 1
-    python -m repro --log-level INFO chaos --sweep
+    python -m repro --log-level INFO chaos --sweep --json curve.json
+    python -m repro checkpoint --dir /tmp/dcart-state --every 4
+    python -m repro recover --dir /tmp/dcart-state --json
+    python -m repro recover --campaign 50 --seed 1
 """
 
 from __future__ import annotations
@@ -116,8 +129,57 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seed", type=int, default=1)
     chaos.add_argument("--sweep", action="store_true",
                        help="degradation curve over 0..n_sous-1 failed SOUs")
-    chaos.add_argument("--json", action="store_true", help="emit JSON")
+    chaos.add_argument("--json", nargs="?", const="-", default=None,
+                       metavar="PATH",
+                       help="emit JSON (to PATH, or stdout when bare)")
+
+    checkpoint = sub.add_parser(
+        "checkpoint", help="durable DCART run: WAL + periodic checkpoints"
+    )
+    checkpoint.add_argument("--dir", required=True, metavar="DIR",
+                            help="durability directory (created if missing)")
+    checkpoint.add_argument("--workload", choices=WORKLOAD_NAMES,
+                            default="IPGEO")
+    checkpoint.add_argument("--keys", type=int, default=None)
+    checkpoint.add_argument("--ops", type=int, default=None)
+    checkpoint.add_argument("--seed", type=int, default=1)
+    checkpoint.add_argument("--every", type=int, default=4,
+                            help="checkpoint every N batches")
+    checkpoint.add_argument("--json", nargs="?", const="-", default=None,
+                            metavar="PATH",
+                            help="emit JSON (to PATH, or stdout when bare)")
+
+    recover = sub.add_parser(
+        "recover",
+        help="rebuild + validate from a durability directory, or --campaign",
+    )
+    recover.add_argument("--dir", default=None, metavar="DIR",
+                         help="durability directory to recover from")
+    recover.add_argument("--campaign", type=int, default=None, metavar="N",
+                         help="run the seeded crash-recover-validate loop "
+                              "over N random crash points instead")
+    recover.add_argument("--seed", type=int, default=1)
+    recover.add_argument("--keys", type=int, default=None)
+    recover.add_argument("--ops", type=int, default=None)
+    recover.add_argument("--workload", choices=WORKLOAD_NAMES,
+                         default="IPGEO")
+    recover.add_argument("--json", nargs="?", const="-", default=None,
+                         metavar="PATH",
+                         help="emit JSON (to PATH, or stdout when bare)")
     return parser
+
+
+def _emit_json(payload, dest: str) -> None:
+    """Write ``payload`` as JSON to stdout (``-``) or a file path."""
+    import json
+
+    text = json.dumps(payload, indent=1)
+    if dest == "-":
+        print(text)
+    else:
+        with open(dest, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote JSON to {dest}")
 
 
 def _cmd_figures(args) -> int:
@@ -159,8 +221,12 @@ def _cmd_run(args) -> int:
             write_ratio=args.write_ratio,
         )
         n_keys = args.keys
+    from repro.art.validate import validate_tree
+
     engine = default_engines(n_keys, include=[args.engine])[0]
-    result = engine.run(workload)
+    tree = engine.build_tree(workload)
+    result = engine.run(workload, tree=tree)
+    validation = validate_tree(tree)
     if args.json:
         import json
 
@@ -173,6 +239,9 @@ def _cmd_run(args) -> int:
             f"redundancy {100 * result.redundancy_ratio:.1f} %, "
             f"cacheline utilisation {100 * result.cacheline_utilisation:.1f} %"
         )
+    if not validation.ok:
+        print(f"tree validation FAILED: {validation.summary()}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -196,8 +265,24 @@ def _cmd_chaos(args) -> int:
             n_keys=n_keys, n_ops=n_ops, seed=args.seed,
             workload_name=args.workload,
         )
-        print(curve.render())
-        return 0
+        # A sweep fails when any row degraded non-gracefully or broke
+        # the tree (columns 5 and 6 of the curve).
+        all_ok = all(
+            row[5] == "yes" and row[6] == "ok" for row in curve.rows
+        )
+        if args.json is not None:
+            _emit_json(
+                {
+                    "experiment": curve.experiment,
+                    "headers": curve.headers,
+                    "rows": curve.rows,
+                    "all_graceful": all_ok,
+                },
+                args.json,
+            )
+        else:
+            print(curve.render())
+        return 0 if all_ok else 1
 
     config = resilience.chaos_config(n_keys)
     n_batches = -(-n_ops // config.batch_size)
@@ -226,29 +311,27 @@ def _cmd_chaos(args) -> int:
             schedule=schedule, config=config,
         )
     except FaultError as exc:
-        if args.json:
-            print(json.dumps(exc.to_dict(), indent=1))
+        if args.json is not None:
+            _emit_json(exc.to_dict(), args.json)
         else:
             print(f"chaos run aborted: {exc}")
             for key, value in sorted(exc.diagnostics.items()):
                 print(f"  {key}: {value}")
         return 3
 
-    if args.json:
-        print(
-            json.dumps(
-                {
-                    "schedule_signature": schedule.signature(),
-                    "n_failed": outcome.n_failed,
-                    "degradation": outcome.degradation,
-                    "proportional_loss": outcome.proportional_loss,
-                    "graceful": outcome.graceful,
-                    "tree_valid": outcome.validation.ok,
-                    "baseline": result_to_dict(outcome.baseline),
-                    "result": result_to_dict(outcome.result),
-                },
-                indent=1,
-            )
+    if args.json is not None:
+        _emit_json(
+            {
+                "schedule_signature": schedule.signature(),
+                "n_failed": outcome.n_failed,
+                "degradation": outcome.degradation,
+                "proportional_loss": outcome.proportional_loss,
+                "graceful": outcome.graceful,
+                "tree_valid": outcome.validation.ok,
+                "baseline": result_to_dict(outcome.baseline),
+                "result": result_to_dict(outcome.result),
+            },
+            args.json,
         )
     else:
         print(schedule.describe())
@@ -257,6 +340,108 @@ def _cmd_chaos(args) -> int:
         print(outcome.result.summary())
         print(outcome.summary())
     return 0 if outcome.graceful else 1
+
+
+def _cmd_checkpoint(args) -> int:
+    from repro.art.validate import validate_tree
+    from repro.core.accelerator import DcartAccelerator
+    from repro.durability import DurabilityManager
+    from repro.errors import ConfigError
+    from repro.harness import resilience
+
+    n_keys = args.keys if args.keys is not None else resilience.DEFAULT_KEYS
+    n_ops = args.ops if args.ops is not None else resilience.DEFAULT_OPS
+    workload = make_workload(
+        args.workload, n_keys=n_keys, n_ops=n_ops, seed=args.seed
+    )
+    try:
+        durability = DurabilityManager(args.dir, checkpoint_every=args.every)
+    except ConfigError as exc:
+        print(f"bad durability setup: {exc}", file=sys.stderr)
+        return 2
+    config = resilience.chaos_config(n_keys)
+    accelerator = DcartAccelerator(config=config, durability=durability)
+    tree = accelerator.build_tree(workload)
+    result = accelerator.run(workload, tree=tree)
+    validation = validate_tree(tree)
+
+    durability_stats = {
+        key: value
+        for key, value in sorted(result.extra.items())
+        if key.startswith(("wal_", "checkpoint")) or key == "durability_cycles"
+    }
+    if args.json is not None:
+        _emit_json(
+            {
+                "directory": args.dir,
+                "workload": workload.summary(),
+                "throughput_mops": result.throughput_mops,
+                "tree_valid": validation.ok,
+                "durability": durability_stats,
+            },
+            args.json,
+        )
+    else:
+        print(workload.summary())
+        print(result.summary())
+        print(f"durable state in {args.dir}:")
+        for key, value in durability_stats.items():
+            print(f"  {key}: {value}")
+    if not validation.ok:
+        print(f"tree validation FAILED: {validation.summary()}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    from repro.durability import recover
+    from repro.errors import RecoveryError
+    from repro.harness import resilience
+
+    if args.campaign is not None:
+        n_keys = args.keys if args.keys is not None else resilience.DEFAULT_KEYS
+        n_ops = args.ops if args.ops is not None else resilience.DEFAULT_OPS
+        result = resilience.crash_recovery_campaign(
+            n_trials=args.campaign,
+            seed=args.seed,
+            workload_name=args.workload,
+            n_keys=n_keys,
+            n_ops=n_ops,
+        )
+        all_ok = bool(result.raw.get("all_ok"))
+        if args.json is not None:
+            _emit_json(
+                {
+                    "experiment": result.experiment,
+                    "headers": result.headers,
+                    "rows": result.rows,
+                    "all_ok": all_ok,
+                },
+                args.json,
+            )
+        else:
+            print(result.render())
+        return 0 if all_ok else 1
+
+    if args.dir is None:
+        print("recover: --dir (or --campaign N) is required", file=sys.stderr)
+        return 2
+    try:
+        recovery = recover(args.dir)
+    except RecoveryError as exc:
+        print(f"recovery failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json is not None:
+        _emit_json(recovery.to_dict(), args.json)
+    else:
+        print(recovery.summary())
+    if not recovery.ok:
+        print(
+            f"recovered tree FAILED validation: {recovery.validation.summary()}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _cmd_workload(args) -> int:
@@ -290,6 +475,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_workload(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "checkpoint":
+        return _cmd_checkpoint(args)
+    if args.command == "recover":
+        return _cmd_recover(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

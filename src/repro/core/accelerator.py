@@ -39,6 +39,7 @@ from repro.core.prefixing import PrefixExtractor
 from repro.core.shortcut_table import ShortcutTable
 from repro.core.sou import BucketOutcome, ShortcutOperatingUnit
 from repro.core.tree_buffer import LruTreeBuffer, ValueAwareTreeBuffer
+from repro.durability.manager import accelerator_state as durability_accel_state
 from repro.engines.base import Engine, RunResult, TimeBreakdown
 from repro.model.platform import FPGA_PLATFORM, Platform
 from repro.workloads.ops import Operation, Workload
@@ -57,12 +58,19 @@ class DcartAccelerator(Engine):
         platform: Platform = FPGA_PLATFORM,
         config: Optional[DCARTConfig] = None,
         injector=None,
+        durability=None,
     ):
         super().__init__(platform)
         self.config = config if config is not None else DCARTConfig()
         #: Optional :class:`~repro.faults.FaultInjector` (chaos harness);
         #: ``None`` models the perfect machine.
         self.injector = injector
+        #: Optional :class:`~repro.durability.DurabilityManager`: when
+        #: set, every combined batch is WAL-logged *before* SOU dispatch
+        #: (write-ahead), the tree + accelerator state checkpoint every N
+        #: batches, and the log/fsync/checkpoint traffic is billed into
+        #: the batch cycles.  ``None`` models the volatile machine.
+        self.durability = durability
 
     # ------------------------------------------------------------------
 
@@ -94,6 +102,11 @@ class DcartAccelerator(Engine):
         injector = self.injector
         if injector is not None:
             injector.reset()
+        durability = self.durability
+        durability_cycles_total = 0
+        if durability is not None:
+            attach_seconds = durability.attach(tree)
+            durability_cycles_total += int(attach_seconds * costs.clock_hz)
         sous = [
             ShortcutOperatingUnit(
                 sou_id=i,
@@ -122,7 +135,8 @@ class DcartAccelerator(Engine):
             tree_buffer.decay()
             if injector is not None:
                 injector.start_batch(
-                    batch_index, dispatcher, shortcuts, tree_buffer
+                    batch_index, dispatcher, shortcuts, tree_buffer,
+                    durability=durability,
                 )
             if config.enable_combining:
                 pcu_outcome = pcu.combine_batch(batch)
@@ -131,6 +145,13 @@ class DcartAccelerator(Engine):
             else:
                 dispatched = self._round_robin(batch, dispatcher)
                 pcu_cycles.append(0)
+
+            # Write-ahead: the combined batch reaches the log (and its
+            # COMMIT fsync point) before any SOU may mutate the tree.
+            batch_durability_cycles = 0
+            if durability is not None:
+                wal_seconds = durability.log_batch(batch_index, batch)
+                batch_durability_cycles += int(wal_seconds * costs.clock_hz)
 
             outcomes = [sous[b.sou_id].process_bucket(b) for b in dispatched]
             batch_outcomes.append(outcomes)
@@ -185,10 +206,19 @@ class DcartAccelerator(Engine):
                 dispatcher.failovers_last_batch * costs.redispatch_cycles
             )
             redispatch_cycles_total += redispatch_cycles
+            # The batch is fully applied: checkpoint if one is due.
+            if durability is not None:
+                ckpt_seconds = durability.maybe_checkpoint(
+                    batch_index, tree,
+                    accel_state=durability_accel_state(shortcuts, tables),
+                )
+                batch_durability_cycles += int(ckpt_seconds * costs.clock_hz)
+                durability_cycles_total += batch_durability_cycles
             batch_cycles = (
                 max(compute_cycles, bandwidth_cycles)
                 + batch_sync_cycles
                 + redispatch_cycles
+                + batch_durability_cycles
             )
             sou_cycles.append(batch_cycles)
             if injector is not None:
@@ -237,6 +267,10 @@ class DcartAccelerator(Engine):
             result.extra["stale_shortcut_repairs"] = sum(
                 o.stale_shortcuts for os in batch_outcomes for o in os
             )
+        if durability is not None:
+            result.extra.update(durability.snapshot())
+            result.extra["durability_cycles"] = durability_cycles_total
+            durability.close()
         return result
 
     # ------------------------------------------------------------------

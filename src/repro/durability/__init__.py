@@ -1,0 +1,64 @@
+"""Durability subsystem: WAL, crash-consistent checkpoints, recovery.
+
+The batch boundaries of DCART's overlap model are the consistency
+points: :class:`DurabilityManager` logs every combined batch to the
+write-ahead log *before* SOU dispatch, checkpoints the tree (plus the
+accelerator's warm state) every N batches, and
+:func:`~repro.durability.recover.recover` rebuilds the committed prefix
+after any crash.  The chaos harness's crash loop
+(:mod:`repro.harness.resilience`) drives kill points through every step
+of the protocol and verifies recovery against a committed-prefix
+reference tree.
+"""
+
+from repro.durability.checkpoint import (
+    CheckpointInfo,
+    CRASH_MANIFEST,
+    CRASH_PAYLOAD,
+    list_checkpoints,
+    load_checkpoint,
+    restore_tree,
+    write_checkpoint,
+)
+from repro.durability.manager import (
+    CRASH_POINTS,
+    CRASH_WAL_MID_APPEND,
+    CRASH_WAL_PRE_COMMIT,
+    CRASH_WAL_TORN_COMMIT,
+    DurabilityManager,
+    accelerator_state,
+)
+from repro.durability.recover import RecoveryResult, recover, wal_path
+from repro.durability.wal import (
+    BeginRecord,
+    CommitRecord,
+    OpRecord,
+    WalScan,
+    WriteAheadLog,
+    scan_wal,
+)
+
+__all__ = [
+    "BeginRecord",
+    "CheckpointInfo",
+    "CommitRecord",
+    "CRASH_MANIFEST",
+    "CRASH_PAYLOAD",
+    "CRASH_POINTS",
+    "CRASH_WAL_MID_APPEND",
+    "CRASH_WAL_PRE_COMMIT",
+    "CRASH_WAL_TORN_COMMIT",
+    "DurabilityManager",
+    "OpRecord",
+    "RecoveryResult",
+    "WalScan",
+    "WriteAheadLog",
+    "accelerator_state",
+    "list_checkpoints",
+    "load_checkpoint",
+    "recover",
+    "restore_tree",
+    "scan_wal",
+    "wal_path",
+    "write_checkpoint",
+]

@@ -109,8 +109,30 @@ class WatchdogTimeout(FaultError):
     """A batch exceeded its cycle budget and was aborted by the watchdog."""
 
 
+class SimulatedCrash(FaultError):
+    """The machine was killed at a scheduled crash point (chaos harness).
+
+    Raised by the durability subsystem when a :class:`CrashFault` fires:
+    whatever bytes reached the log or checkpoint directory *before* the
+    crash point are on disk (possibly torn mid-record), everything after
+    is lost, and in-memory state must be presumed gone.  Recovery's
+    contract is to rebuild exactly the committed prefix from those files.
+    """
+
+
+class RecoveryError(ReproError):
+    """Recovery could not produce a usable tree.
+
+    Raised when *no* valid checkpoint/WAL state exists at all (empty or
+    missing directory) — per-artifact corruption is not an error but an
+    expected input, reported in the
+    :class:`~repro.durability.recover.RecoveryResult` instead.
+    """
+
+
 _FAULT_TYPES = {
     "FaultError": FaultError,
     "SouFailedError": SouFailedError,
     "WatchdogTimeout": WatchdogTimeout,
+    "SimulatedCrash": SimulatedCrash,
 }

@@ -13,6 +13,7 @@ timing model bills the degradation.
 from repro.faults.injector import FaultInjector, Watchdog
 from repro.faults.schedule import (
     BufferStorm,
+    CrashFault,
     FaultSchedule,
     HbmThrottle,
     ShortcutCorruption,
@@ -22,6 +23,7 @@ from repro.faults.schedule import (
 
 __all__ = [
     "BufferStorm",
+    "CrashFault",
     "FaultInjector",
     "FaultSchedule",
     "HbmThrottle",

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 from repro.errors import ConfigError, WatchdogTimeout
 from repro.faults.schedule import (
     BufferStorm,
+    CrashFault,
     FaultSchedule,
     ShortcutCorruption,
     SouFailStop,
@@ -118,13 +119,24 @@ class FaultInjector:
         self.storm_invalidations = 0
         self.corrupted_hits = 0
         self.retry_cycles = 0
+        self.crashes_armed = 0
+        self.crashes_skipped = 0
 
     # ------------------------------------------------------------------
     # per-batch hook (called by the accelerator before combining)
     # ------------------------------------------------------------------
 
-    def start_batch(self, batch_index, dispatcher, shortcuts, tree_buffer) -> None:
-        """Apply every point event scheduled for ``batch_index``."""
+    def start_batch(
+        self, batch_index, dispatcher, shortcuts, tree_buffer, durability=None
+    ) -> None:
+        """Apply every point event scheduled for ``batch_index``.
+
+        ``durability`` is the run's optional
+        :class:`~repro.durability.DurabilityManager`; a
+        :class:`CrashFault` arms its kill point there (the actual
+        :class:`~repro.errors.SimulatedCrash` is raised by the manager
+        at the exact protocol step, not here).
+        """
         self.current_batch = batch_index
         for event in self.schedule.point_events_at(batch_index):
             self.events_applied += 1
@@ -136,6 +148,16 @@ class FaultInjector:
                 self._corrupt_shortcuts(batch_index, event, shortcuts)
             elif isinstance(event, BufferStorm):
                 self._storm(batch_index, event, tree_buffer)
+            elif isinstance(event, CrashFault):
+                if durability is None:
+                    LOG.warning(
+                        "crash fault at batch %d ignored: run has no "
+                        "DurabilityManager", batch_index,
+                    )
+                    self.crashes_skipped += 1
+                else:
+                    durability.arm_crash(event.point, event.detail)
+                    self.crashes_armed += 1
 
     def _corrupt_shortcuts(self, batch_index, event, shortcuts) -> None:
         if shortcuts is None or len(shortcuts) == 0:
@@ -201,5 +223,6 @@ class FaultInjector:
             "corrupted_shortcut_hits": self.corrupted_hits,
             "corrupted_retry_cycles": self.retry_cycles,
             "storm_invalidations": self.storm_invalidations,
+            "crashes_armed": self.crashes_armed,
             "fault_schedule_signature": self.schedule.signature(),
         }

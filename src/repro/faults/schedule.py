@@ -17,7 +17,11 @@ Five event kinds model the failure modes a deployed accelerator sees:
 * :class:`BufferStorm`      — a fraction of the Tree_buffer is
   invalidated at batch *k* (ECC scrub, partial reconfiguration);
 * :class:`HbmThrottle`      — HBM bandwidth drops to ``factor`` of
-  nominal over a batch window (shared-bus interference).
+  nominal over a batch window (shared-bus interference);
+* :class:`CrashFault`       — the whole machine is killed at batch *k*
+  at a specific step of the durability protocol (mid-WAL-append,
+  pre-commit, torn commit, mid-checkpoint payload/manifest), so the
+  crash–recover–validate loop can exercise every recovery path.
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 from random import Random
-from typing import Iterator, List, Tuple, Union
+from typing import Iterator, List, Optional, Tuple, Union
 
 from repro.errors import ConfigError
 
@@ -121,8 +125,48 @@ class HbmThrottle:
         )
 
 
+#: Durability-protocol kill points a :class:`CrashFault` may name (the
+#: canonical list lives in :mod:`repro.durability.manager`; mirrored
+#: here so building a schedule does not import the durability package).
+CRASH_POINTS = (
+    "wal-mid-append",
+    "wal-pre-commit",
+    "wal-torn-commit",
+    "ckpt-payload",
+    "ckpt-manifest",
+)
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Kill the machine during ``batch`` at durability step ``point``.
+
+    ``detail`` seeds where exactly the torn write lands (which op index
+    the append dies on, how many bytes of the torn record survive).
+    Requires the run to have a :class:`DurabilityManager` attached —
+    without one there is nothing to tear, and the injector logs and
+    skips the event.
+    """
+
+    batch: int
+    point: str
+    detail: int = 0
+
+    def __post_init__(self):
+        if self.point not in CRASH_POINTS:
+            raise ConfigError(
+                f"unknown crash point {self.point!r}; one of {CRASH_POINTS}"
+            )
+        if self.detail < 0:
+            raise ConfigError(f"crash detail must be >= 0: {self.detail}")
+
+    def describe(self) -> str:
+        return f"batch {self.batch}: crash at {self.point}"
+
+
 FaultEvent = Union[
-    SouFailStop, SouSlowdown, ShortcutCorruption, BufferStorm, HbmThrottle
+    SouFailStop, SouSlowdown, ShortcutCorruption, BufferStorm, HbmThrottle,
+    CrashFault,
 ]
 
 #: Stable ordering for signature/replay: (first batch, kind name, repr).
@@ -223,6 +267,29 @@ class FaultSchedule:
         return cls(
             seed=seed,
             events=tuple(SouFailStop(at_batch, sou) for sou in sorted(victims)),
+        )
+
+    @classmethod
+    def crash_at(
+        cls,
+        seed: int,
+        n_batches: int,
+        point: Optional[str] = None,
+        batch: Optional[int] = None,
+    ) -> "FaultSchedule":
+        """One seeded crash: point and batch drawn from the seed if omitted.
+
+        The crash loop's generator — 50 seeds give 50 distinct,
+        replayable kill points across the durability protocol.
+        """
+        if n_batches <= 0:
+            raise ConfigError(f"n_batches must be positive: {n_batches}")
+        rng = Random(seed)
+        chosen_point = point if point is not None else rng.choice(CRASH_POINTS)
+        chosen_batch = batch if batch is not None else rng.randrange(n_batches)
+        return cls(
+            seed=seed,
+            events=(CrashFault(chosen_batch, chosen_point, rng.randrange(1024)),),
         )
 
     @classmethod

@@ -119,6 +119,40 @@ def result_from_dict(data: dict) -> RunResult:
     return result
 
 
+def save_result(result: RunResult, path_or_file: Union[str, IO]) -> None:
+    """Write one RunResult as a JSON document."""
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w") as handle:
+            save_result(result, handle)
+        return
+    json.dump(result_to_dict(result), path_or_file, indent=1)
+
+
+def load_result(path_or_file: Union[str, IO]) -> RunResult:
+    """Read a result written by :func:`save_result`.
+
+    Damaged files surface as :class:`~repro.errors.SimulationError` —
+    undecodable JSON, a non-object document, or a record missing its
+    identity fields all mean the file is not a saved result.
+    """
+    if isinstance(path_or_file, str):
+        with open(path_or_file) as handle:
+            return load_result(handle)
+    payload = _load_json(path_or_file)
+    if not isinstance(payload, dict):
+        raise SimulationError(
+            f"result file holds {type(payload).__name__}, expected an object"
+        )
+    return result_from_dict(payload)
+
+
+def _load_json(handle: IO):
+    try:
+        return json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise SimulationError(f"corrupt result JSON: {exc}") from exc
+
+
 def save_matrix(
     matrix: Dict[str, Dict[str, RunResult]], path_or_file: Union[str, IO]
 ) -> None:
@@ -139,7 +173,11 @@ def load_matrix(path_or_file: Union[str, IO]) -> Dict[str, Dict[str, RunResult]]
     if isinstance(path_or_file, str):
         with open(path_or_file) as handle:
             return load_matrix(handle)
-    payload = json.load(path_or_file)
+    payload = _load_json(path_or_file)
+    if not isinstance(payload, dict):
+        raise SimulationError(
+            f"matrix file holds {type(payload).__name__}, expected an object"
+        )
     return {
         workload: {
             name: result_from_dict(record) for name, record in per_engine.items()

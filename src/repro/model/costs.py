@@ -159,6 +159,49 @@ class SoftwareCttCosts:
 
 
 @dataclass(frozen=True)
+class DurabilityCosts:
+    """Cost model for the durability subsystem (WAL + checkpoints).
+
+    The accelerator's host pairs the FPGA with an NVMe-class log device
+    (SafarDB-style: the index accelerator is only production-usable when
+    its state survives power loss).  Appends stream at the device's
+    sequential bandwidth; an fsync point — the COMMIT barrier of a batch,
+    or a checkpoint's rename-into-place — pays the flash write-cache
+    flush latency.  Checkpoints stream at a lower effective bandwidth
+    because they compete with the log for the same device.
+    """
+
+    wal_bandwidth_gb_s: float = 3.2      # NVMe sequential append stream
+    fsync_latency_us: float = 15.0       # write-cache flush per sync point
+    checkpoint_bandwidth_gb_s: float = 1.8
+
+    def __post_init__(self):
+        _positive(
+            wal_bandwidth_gb_s=self.wal_bandwidth_gb_s,
+            fsync_latency_us=self.fsync_latency_us,
+            checkpoint_bandwidth_gb_s=self.checkpoint_bandwidth_gb_s,
+        )
+
+    def wal_seconds(self, n_bytes: int, n_fsyncs: int = 0) -> float:
+        """Time to append ``n_bytes`` and cross ``n_fsyncs`` sync points."""
+        return (
+            n_bytes / (self.wal_bandwidth_gb_s * 1e9)
+            + n_fsyncs * self.fsync_latency_us * 1e-6
+        )
+
+    def checkpoint_seconds(self, n_bytes: int) -> float:
+        """Time to stream one checkpoint image plus its two sync points.
+
+        Two fsyncs: one for the payload before rename, one for the
+        manifest after — the write order crash consistency depends on.
+        """
+        return (
+            n_bytes / (self.checkpoint_bandwidth_gb_s * 1e9)
+            + 2 * self.fsync_latency_us * 1e-6
+        )
+
+
+@dataclass(frozen=True)
 class PowerModel:
     """Average electrical power while executing the workload (watts).
 
@@ -180,6 +223,7 @@ class PowerModel:
 
 
 DEFAULT_CPU_COSTS = CpuCosts()
+DEFAULT_DURABILITY_COSTS = DurabilityCosts()
 DEFAULT_GPU_COSTS = GpuCosts()
 DEFAULT_FPGA_COSTS = FpgaCosts()
 DEFAULT_CTT_COSTS = SoftwareCttCosts()

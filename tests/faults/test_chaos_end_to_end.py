@@ -2,6 +2,8 @@
 
 import pytest
 
+pytestmark = pytest.mark.chaos
+
 from repro.art.validate import validate_tree
 from repro.core.accelerator import DcartAccelerator
 from repro.errors import SouFailedError, WatchdogTimeout

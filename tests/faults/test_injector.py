@@ -141,6 +141,31 @@ class TestWatchdog:
             injector.end_batch(0, 1, 11, {0: 11})
 
 
+class TestCrashFaults:
+    def test_crash_armed_on_durability_manager(self, tmp_path):
+        from repro.durability import DurabilityManager
+        from repro.faults import CrashFault
+
+        injector = make_injector([CrashFault(1, "wal-pre-commit", detail=3)])
+        durability = DurabilityManager(str(tmp_path))
+        injector.start_batch(0, Dispatcher(16), None, None, durability=durability)
+        assert injector.crashes_armed == 0
+        injector.start_batch(1, Dispatcher(16), None, None, durability=durability)
+        assert injector.crashes_armed == 1
+        assert durability._armed_point == "wal-pre-commit"
+        assert injector.snapshot()["crashes_armed"] == 1
+
+    def test_crash_skipped_without_durability(self):
+        from repro.faults import CrashFault
+
+        injector = make_injector([CrashFault(0, "ckpt-payload")])
+        injector.start_batch(0, Dispatcher(16), None, None)
+        assert injector.crashes_armed == 0
+        assert injector.crashes_skipped == 1
+        injector.reset()
+        assert injector.crashes_skipped == 0
+
+
 class TestSnapshot:
     def test_snapshot_round_trips_schedule_signature(self):
         schedule = FaultSchedule.fail_sous(2, seed=4)

@@ -14,6 +14,9 @@ from repro.harness import experiments as ex
 from repro.harness.comparison import speedups
 from repro.workloads import WORKLOAD_NAMES
 
+# The full engine x workload matrix takes minutes: tier-1 skips it.
+pytestmark = pytest.mark.slow
+
 KEYS = 10_000
 OPS = 100_000
 

@@ -105,6 +105,26 @@ class TestChaosCommand:
         assert "degradation" in out
         assert "failed SOUs" in out
 
+    def test_sweep_json_to_file(self, capsys, tmp_path):
+        path = str(tmp_path / "curve.json")
+        assert main([
+            "chaos", "--keys", "600", "--ops", "4000", "--sweep",
+            "--json", path,
+        ]) == 0
+        assert "wrote JSON to" in capsys.readouterr().out
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["all_graceful"] is True
+        assert data["headers"][0] == "failed SOUs"
+        assert len(data["rows"]) == 16
+
+    def test_json_to_file(self, capsys, tmp_path):
+        path = str(tmp_path / "chaos.json")
+        assert main(self.ARGS + ["--fail-sous", "2", "--json", path]) == 0
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["n_failed"] == 2
+
     def test_log_level_flag_accepted(self, capsys):
         from repro.log import reset
 
@@ -116,6 +136,61 @@ class TestChaosCommand:
     def test_bad_log_level_exits_2(self, capsys):
         assert main(["--log-level", "CHATTY"] + self.ARGS) == 2
         assert "unknown log level: CHATTY" in capsys.readouterr().err
+
+
+class TestDurabilityCommands:
+    CKPT = ["checkpoint", "--workload", "DE", "--keys", "600",
+            "--ops", "4000", "--every", "2"]
+
+    def test_checkpoint_then_recover(self, capsys, tmp_path):
+        directory = str(tmp_path / "state")
+        assert main(self.CKPT + ["--dir", directory]) == 0
+        out = capsys.readouterr().out
+        assert "durable state in" in out
+        assert "wal_bytes" in out
+
+        assert main(["recover", "--dir", directory]) == 0
+        out = capsys.readouterr().out
+        assert "recovered" in out and "OK" in out
+
+    def test_checkpoint_json(self, capsys, tmp_path):
+        directory = str(tmp_path / "state")
+        assert main(self.CKPT + ["--dir", directory, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["tree_valid"] is True
+        assert data["durability"]["checkpoints_written"] >= 1
+        assert data["durability"]["wal_batches_logged"] >= 1
+
+    def test_recover_json_report(self, capsys, tmp_path):
+        directory = str(tmp_path / "state")
+        assert main(self.CKPT + ["--dir", directory]) == 0
+        capsys.readouterr()
+        assert main(["recover", "--dir", directory, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["validation_ok"] is True
+        assert data["n_keys"] > 0
+        assert data["wal_torn"] is False
+
+    def test_recover_empty_directory_fails(self, capsys, tmp_path):
+        assert main(["recover", "--dir", str(tmp_path / "nothing")]) == 1
+        assert "recovery failed" in capsys.readouterr().err
+
+    def test_recover_needs_dir_or_campaign(self, capsys):
+        assert main(["recover"]) == 2
+        assert "--dir" in capsys.readouterr().err
+
+    def test_bad_checkpoint_interval_exits_2(self, capsys, tmp_path):
+        assert main(self.CKPT[:-1] + ["0", "--dir", str(tmp_path)]) == 2
+        assert "bad durability setup" in capsys.readouterr().err
+
+    def test_campaign(self, capsys):
+        assert main([
+            "recover", "--campaign", "2", "--seed", "3",
+            "--keys", "800", "--ops", "6000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "crash/recover/validate" in out
+        assert "EXACT" in out
 
 
 class TestFiguresCommand:
