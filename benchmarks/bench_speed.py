@@ -1,0 +1,30 @@
+"""Simulator-speed benchmark — how fast the simulation itself runs.
+
+Unlike the figure benchmarks (which reproduce the paper's *modelled*
+numbers), this one times the Python hot path: sim-ops/second, wall
+seconds, and peak RSS per engine on the quick bench workload.  The same
+measurement is exposed as ``python -m repro bench`` and gated in CI
+against ``BENCH_speed.json``; the assertions here are loose sanity
+floors, not the regression gate.
+"""
+
+from repro.harness import benchmarking
+
+
+def test_bench_speed_quick(benchmark, publish):
+    entry = benchmark.pedantic(
+        benchmarking.run_bench,
+        kwargs={"quick": True},
+        rounds=1,
+        iterations=1,
+    )
+    publish("bench_speed", benchmarking.format_entry(entry))
+    for engine, sample in entry["engines"].items():
+        assert sample["wall_seconds"] > 0
+        assert sample["sim_ops_per_sec"] > 0
+        assert sample["peak_rss_bytes"] > 0
+    # Loose sanity floor only — an absolute wall-clock threshold cannot
+    # be tight on shared/cgroup-throttled runners, where identical code
+    # swings ~2x between runs.  The regression gate proper is the
+    # relative comparison in `repro bench --check` (BENCH_speed.json).
+    assert entry["engines"]["DCART"]["sim_ops_per_sec"] > 25_000

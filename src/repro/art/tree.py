@@ -31,12 +31,14 @@ from repro.art.keys import common_prefix_length
 from repro.art.layout import NodeAllocator
 from repro.art.nodes import (
     Child,
+    HEADER_BYTES,
     InnerNode,
     Leaf,
     Node,
     Node4,
+    POINTER_BYTES,
 )
-from repro.art.stats import NodeTouch, TraversalRecord, TreeStats, lines_for, CACHE_LINE_BYTES
+from repro.art.stats import NodeTouch, TraversalRecord, TreeStats, CACHE_LINE_BYTES
 from repro.errors import DuplicateKeyError, KeyNotFoundError, TreeError
 
 
@@ -76,22 +78,32 @@ class AdaptiveRadixTree:
         return self._by_address.get(address)
 
     def _touch(self, node: Node) -> None:
-        used = node.used_bytes_for_descent()
-        fetch_span = min(node.size_bytes, 16 + used)  # header + indexed slot
-        self.stats.nodes_visited += 1
-        self.stats.bytes_fetched += lines_for(fetch_span) * CACHE_LINE_BYTES
-        self.stats.bytes_used += used
-        if isinstance(node, Leaf):
-            self.stats.leaf_accesses += 1
-        if self._recorder is not None:
-            self._recorder.touches.append(
-                NodeTouch(
-                    node_id=node.node_id,
-                    address=node.address,
-                    size_bytes=node.size_bytes,
-                    used_bytes=used,
-                    kind=node.kind,
-                )
+        # Hot: one call per node visited, so the span math is inlined
+        # (header + indexed slot) and the stats object is read once.
+        # The used/size formulas are switched on the node kind instead
+        # of dispatched through used_bytes_for_descent/size_bytes: for a
+        # Leaf both reduce to len(key) arithmetic and the fetch span
+        # equals the node size.
+        kind = node.kind
+        stats = self.stats
+        stats.nodes_visited += 1
+        if kind == "Leaf":
+            used = len(node.key) + POINTER_BYTES
+            size = HEADER_BYTES + used
+            fetch_span = size
+            stats.leaf_accesses += 1
+        else:
+            used = len(node.prefix) + 1 + POINTER_BYTES
+            size = node.size_bytes
+            fetch_span = size if size < 16 + used else 16 + used
+        stats.bytes_fetched += (
+            -(-fetch_span // CACHE_LINE_BYTES)
+        ) * CACHE_LINE_BYTES
+        stats.bytes_used += used
+        recorder = self._recorder
+        if recorder is not None:
+            recorder.touches.append(
+                NodeTouch(node.node_id, node.address, size, used, kind)
             )
 
     def _count_match(self, n: int = 1) -> None:
@@ -148,45 +160,90 @@ class AdaptiveRadixTree:
         return value
 
     def get(self, key: bytes, default: object = None) -> object:
-        """Return the value under ``key`` or ``default`` when absent."""
+        """Return the value under ``key`` or ``default`` when absent.
+
+        Hot path (one call per simulated read): the per-level counter
+        helpers are inlined, with the stats object and recorder read
+        once up front.
+        """
         self._check_key(key)
         node = self.root
         parent: Optional[Node] = None
         depth = 0
+        stats = self.stats
+        recorder = self._recorder
+        klen = len(key)
+        # The per-level _touch/_note helpers are expanded in place: this
+        # and _upsert are the two walk loops behind every simulated
+        # operation, and the helper-call overhead alone showed on
+        # profiles.  The expansions follow _touch exactly.
         while isinstance(node, InnerNode):
-            self._touch(node)
-            plen = node.prefix_len
+            prefix = node.prefix
+            plen = len(prefix)
+            used = plen + 9  # prefix + 1 key byte + 8-byte pointer
+            size = node.size_bytes
+            span = size if size < 16 + used else 16 + used
+            stats.nodes_visited += 1
+            stats.bytes_fetched += (
+                -(-span // CACHE_LINE_BYTES)
+            ) * CACHE_LINE_BYTES
+            stats.bytes_used += used
+            if recorder is not None:
+                recorder.touches.append(
+                    NodeTouch(node.node_id, node.address, size, used, node.kind)
+                )
             if plen:
-                common = common_prefix_length(node.prefix, key[depth : depth + plen])
-                self._count_prefix(min(common + 1, plen))
+                common = common_prefix_length(prefix, key[depth : depth + plen])
+                compared = common + 1 if common < plen else plen
+                stats.prefix_bytes_compared += compared
+                if recorder is not None:
+                    recorder.prefix_bytes_compared += compared
                 if common < plen:
-                    self._note(outcome="miss")
+                    if recorder is not None:
+                        recorder.outcome = "miss"
                     self._note_target(node, parent)
                     return default
                 depth += plen
-            if depth >= len(key):
-                self._note(outcome="miss")
+            if depth >= klen:
+                if recorder is not None:
+                    recorder.outcome = "miss"
                 self._note_target(node, parent)
                 return default
-            self._count_match()
+            stats.partial_key_matches += 1
+            if recorder is not None:
+                recorder.partial_key_matches += 1
             child = node.find_child(key[depth])
             if child is None:
-                self._note(outcome="miss")
+                if recorder is not None:
+                    recorder.outcome = "miss"
                 self._note_target(node, parent)
                 return default
             parent = node
             node = child
             depth += 1
         if node is None:
-            self._note(outcome="miss")
+            if recorder is not None:
+                recorder.outcome = "miss"
             return default
-        self._touch(node)
-        self._count_prefix(len(key))
+        used = len(node.key) + 8
+        size = 16 + used  # a Leaf's span equals its size
+        stats.nodes_visited += 1
+        stats.leaf_accesses += 1
+        stats.bytes_fetched += (-(-size // CACHE_LINE_BYTES)) * CACHE_LINE_BYTES
+        stats.bytes_used += used
+        stats.prefix_bytes_compared += klen
+        if recorder is not None:
+            recorder.touches.append(
+                NodeTouch(node.node_id, node.address, size, used, "Leaf")
+            )
+            recorder.prefix_bytes_compared += klen
         self._note_target(node, parent)
         if node.key == key:
-            self._note(outcome="hit")
+            if recorder is not None:
+                recorder.outcome = "hit"
             return node.value
-        self._note(outcome="miss")
+        if recorder is not None:
+            recorder.outcome = "miss"
         return default
 
     # ------------------------------------------------------------------
@@ -255,40 +312,75 @@ class AdaptiveRadixTree:
         parent: Optional[InnerNode] = None
         parent_byte = -1
         depth = 0
+        stats = self.stats
+        recorder = self._recorder
+        klen = len(key)
 
+        # Same in-place expansion of _touch/_note as in get() — this
+        # loop runs once per simulated write.
         while True:
             if isinstance(node, Leaf):
-                self._touch(node)
-                self._count_prefix(len(key))
+                used = len(node.key) + 8
+                size = 16 + used  # a Leaf's span equals its size
+                stats.nodes_visited += 1
+                stats.leaf_accesses += 1
+                stats.bytes_fetched += (
+                    -(-size // CACHE_LINE_BYTES)
+                ) * CACHE_LINE_BYTES
+                stats.bytes_used += used
+                stats.prefix_bytes_compared += klen
+                if recorder is not None:
+                    recorder.touches.append(
+                        NodeTouch(node.node_id, node.address, size, used, "Leaf")
+                    )
+                    recorder.prefix_bytes_compared += klen
                 if node.key == key:
                     if not allow_update:
-                        self._note(outcome="duplicate")
+                        if recorder is not None:
+                            recorder.outcome = "duplicate"
                         self._note_target(node, parent)
                         return False
                     node.value = value
-                    self._note(outcome="updated")
+                    if recorder is not None:
+                        recorder.outcome = "updated"
                     self._note_target(node, parent)
                     return False
                 self._split_leaf(node, parent, parent_byte, key, value, depth)
                 return True
 
-            assert isinstance(node, InnerNode)
-            self._touch(node)
-            plen = node.prefix_len
+            prefix = node.prefix
+            plen = len(prefix)
+            used = plen + 9  # prefix + 1 key byte + 8-byte pointer
+            size = node.size_bytes
+            span = size if size < 16 + used else 16 + used
+            stats.nodes_visited += 1
+            stats.bytes_fetched += (
+                -(-span // CACHE_LINE_BYTES)
+            ) * CACHE_LINE_BYTES
+            stats.bytes_used += used
+            if recorder is not None:
+                recorder.touches.append(
+                    NodeTouch(node.node_id, node.address, size, used, node.kind)
+                )
             if plen:
                 rest = key[depth : depth + plen]
-                common = common_prefix_length(node.prefix, rest)
-                self._count_prefix(min(common + 1, plen))
+                common = common_prefix_length(prefix, rest)
+                compared = common + 1 if common < plen else plen
+                stats.prefix_bytes_compared += compared
+                if recorder is not None:
+                    recorder.prefix_bytes_compared += compared
                 if common < plen:
                     self._split_prefix(node, parent, parent_byte, key, value, depth, common)
                     return True
                 depth += plen
-            if depth >= len(key):
+            if depth >= klen:
                 raise TreeError(
                     f"key {key.hex()} is a prefix of an existing key; "
                     "keys in one tree must be prefix-free"
                 )
-            self._count_match()
+            stats.partial_key_matches += 1
+            if recorder is not None:
+                recorder.partial_key_matches += 1
             byte = key[depth]
             child = node.find_child(byte)
             if child is None:
@@ -297,7 +389,9 @@ class AdaptiveRadixTree:
                 self._register(leaf)
                 node.add_child(byte, leaf)
                 self._size += 1
-                self._note(outcome="inserted", structure_modified=True)
+                if recorder is not None:
+                    recorder.outcome = "inserted"
+                    recorder.structure_modified = True
                 self._note_target(node, parent)
                 return True
             parent = node

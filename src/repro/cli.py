@@ -17,6 +17,12 @@ Commands:
 * ``recover`` — rebuild the tree from a durability directory (latest
   valid checkpoint + committed WAL tail) and validate it; or, with
   ``--campaign N``, run the seeded crash–recover–validate loop.
+* ``sweep`` — run an (engine × workload × seed) grid, fanned over
+  ``--jobs N`` worker processes with deterministic, ordered output
+  (``--jobs 1`` and ``--jobs N`` are bit-identical).
+* ``bench`` — measure simulator speed (sim-ops/s, wall seconds, peak
+  RSS per engine); ``--record`` appends to ``BENCH_speed.json``,
+  ``--check`` fails on a >20 % regression vs the best prior entry.
 
 Every subcommand exits non-zero when its validation oracle fails: a
 broken tree after ``run``/``checkpoint``, a non-graceful or invalid
@@ -36,6 +42,8 @@ Examples:
     python -m repro checkpoint --dir /tmp/dcart-state --every 4
     python -m repro recover --dir /tmp/dcart-state --json
     python -m repro recover --campaign 50 --seed 1
+    python -m repro sweep --engines ART DCART --seeds 1 2 --jobs 4
+    python -m repro bench --quick --check --record
 """
 
 from __future__ import annotations
@@ -166,6 +174,48 @@ def _build_parser() -> argparse.ArgumentParser:
     recover.add_argument("--json", nargs="?", const="-", default=None,
                          metavar="PATH",
                          help="emit JSON (to PATH, or stdout when bare)")
+
+    sweep = sub.add_parser(
+        "sweep", help="run an (engine x workload x seed) grid, optionally "
+                      "in parallel"
+    )
+    sweep.add_argument("--engines", nargs="+", choices=ENGINE_NAMES,
+                       default=["ART", "DCART"])
+    sweep.add_argument("--workloads", nargs="+", choices=WORKLOAD_NAMES,
+                       default=["IPGEO"])
+    sweep.add_argument("--seeds", nargs="+", type=int, default=[1])
+    sweep.add_argument("--keys", type=int, default=10_000)
+    sweep.add_argument("--ops", type=int, default=100_000)
+    sweep.add_argument("--write-ratio", type=float, default=None)
+    sweep.add_argument("--op-skew", type=float, default=None)
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = in-process)")
+    sweep.add_argument("--json", nargs="?", const="-", default=None,
+                       metavar="PATH",
+                       help="emit full per-cell results as JSON")
+
+    bench = sub.add_parser(
+        "bench", help="measure simulator speed; record/check BENCH_speed.json"
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="CI-sized workload instead of the 1 M-op "
+                            "reference")
+    bench.add_argument("--engines", nargs="+", choices=ENGINE_NAMES,
+                       default=None,
+                       help="engines to time (default: ART DCART)")
+    bench.add_argument("--record", action="store_true",
+                       help="append this sample to the trajectory file")
+    bench.add_argument("--check", action="store_true",
+                       help="fail on >20%% sim-ops/s regression vs the best "
+                            "prior same-mode entry")
+    bench.add_argument("--file", default=None, metavar="PATH",
+                       help="trajectory file (default: BENCH_speed.json "
+                            "at the repo root)")
+    bench.add_argument("--workload-cache", default=None, metavar="DIR",
+                       help="cache generated bench workloads in DIR")
+    bench.add_argument("--repeats", type=int, default=1, metavar="N",
+                       help="time each engine N times and keep the fastest "
+                            "(best-of-N; use >=3 on noisy/shared machines)")
     return parser
 
 
@@ -457,6 +507,62 @@ def _cmd_workload(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from repro.harness.parallel import expand_grid, run_cells, summarise
+
+    cells = expand_grid(
+        engines=args.engines,
+        workloads=args.workloads,
+        seeds=args.seeds,
+        n_keys=args.keys,
+        n_ops=args.ops,
+        write_ratio=args.write_ratio,
+        op_skew=args.op_skew,
+    )
+    results = run_cells(cells, jobs=args.jobs)
+    if args.json is not None:
+        _emit_json({"jobs": args.jobs, "results": results}, args.json)
+    else:
+        header = ("engine", "workload", "seed", "Mops/s", "ms", "hit-rate")
+        rows = [header] + summarise(results)
+        widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+        for row in rows:
+            print("  ".join(col.ljust(w) for col, w in zip(row, widths)))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.harness import benchmarking
+
+    engines = args.engines or list(benchmarking.DEFAULT_BENCH_ENGINES)
+    path = args.file
+    if path is None:
+        path = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(
+                os.path.abspath(__file__)
+            ))),
+            benchmarking.BENCH_FILENAME,
+        )
+    entry = benchmarking.run_bench(
+        engines=engines, quick=args.quick, cache_dir=args.workload_cache,
+        repeats=args.repeats,
+    )
+    print(benchmarking.format_entry(entry))
+    status = 0
+    if args.check:
+        history = benchmarking.load_trajectory(path)["history"]
+        ok, messages = benchmarking.check_regression(entry, history)
+        for line in messages:
+            print(line)
+        if not ok:
+            print("bench: performance regression detected", file=sys.stderr)
+            status = 1
+    if args.record:
+        benchmarking.append_entry(path, entry)
+        print(f"recorded in {path}")
+    return status
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.log_level is not None:
@@ -479,6 +585,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_checkpoint(args)
     if args.command == "recover":
         return _cmd_recover(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -23,8 +23,9 @@ reverts one §III design decision for the ablation benchmarks.
 
 from __future__ import annotations
 
+import math
 from collections import Counter
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -46,6 +47,20 @@ from repro.workloads.ops import Operation, Workload
 
 #: Keys sampled from the loaded set for prefix calibration.
 CALIBRATION_SAMPLE = 4096
+
+
+def hbm_bandwidth_cycles(
+    offchip_bytes: int, hbm_gb_s: float, clock_hz: float
+) -> int:
+    """Cycles the batch's off-chip traffic occupies the HBM channel.
+
+    Ceil, not floor: a batch consuming any fraction of an HBM cycle
+    still holds the channel for that whole cycle, so even one off-chip
+    byte bills at least one cycle.
+    """
+    if offchip_bytes <= 0:
+        return 0
+    return math.ceil(offchip_bytes / (hbm_gb_s * 1e9) * clock_hz)
 
 
 class DcartAccelerator(Engine):
@@ -196,8 +211,8 @@ class DcartAccelerator(Engine):
             if injector is not None:
                 # A throttle window narrows the effective HBM bandwidth.
                 hbm_gb_s *= injector.bandwidth_factor()
-            bandwidth_cycles = int(
-                offchip_bytes / (hbm_gb_s * 1e9) * costs.clock_hz
+            bandwidth_cycles = hbm_bandwidth_cycles(
+                offchip_bytes, hbm_gb_s, costs.clock_hz
             )
             offchip_lines_total += batch_offchip_lines
             # Failover re-dispatch: the Dispatcher re-targets each of a
@@ -330,10 +345,11 @@ class DcartAccelerator(Engine):
         pcu_cycles: List[int],
         costs,
     ) -> None:
-        seen = set()
-        latencies: List[Tuple[int, float]] = []
+        id_chunks: List[np.ndarray] = []
+        cycle_chunks: List[np.ndarray] = []
         matches = visited = fetched = used = 0
         shortcut_hits = shortcut_misses = traversals = 0
+        counts = result.node_access_counts
         for batch_index, outcomes in enumerate(batch_outcomes):
             # Latency of an op = waiting for its batch to be combined,
             # plus its completion offset within its SOU's queue.
@@ -346,21 +362,35 @@ class DcartAccelerator(Engine):
                 shortcut_hits += outcome.shortcut_hits
                 shortcut_misses += outcome.shortcut_misses
                 traversals += outcome.traversals
-                seen |= outcome.seen_nodes
-                result.node_access_counts.update(outcome.node_access_counts)
-                for op_id, completion in zip(
-                    outcome.op_ids, outcome.completion_cycles
-                ):
-                    latencies.append(
-                        (op_id, (start + completion) * costs.cycle_seconds * 1e9)
+                # One counting pass over the raw visit list per bucket;
+                # the distinct-node set falls out as the Counter's keys.
+                counts.update(outcome.visited_ids)
+                if outcome.op_ids:
+                    id_chunks.append(
+                        np.asarray(outcome.op_ids, dtype=np.int64)
+                    )
+                    cycle_chunks.append(
+                        np.asarray(outcome.completion_cycles, dtype=np.int64)
+                        + start
                     )
         result.partial_key_matches = matches
         result.nodes_visited = visited
-        result.distinct_nodes_visited = len(seen)
+        result.distinct_nodes_visited = len(counts)
         result.bytes_fetched = fetched
         result.bytes_used = used
         result.extra["shortcut_hits"] = shortcut_hits
         result.extra["shortcut_misses"] = shortcut_misses
         result.extra["traversals"] = traversals
-        latencies.sort()
-        result.latencies_ns = np.asarray([lat for _, lat in latencies])
+        if id_chunks:
+            # op_ids are unique across the run, so a stable argsort on
+            # them reproduces exactly the old (op_id, latency) tuple
+            # sort; cycle counts stay integers until the final float
+            # multiply, which matches the scalar path bit-for-bit.
+            op_ids = np.concatenate(id_chunks)
+            completion = np.concatenate(cycle_chunks)
+            order = np.argsort(op_ids, kind="stable")
+            result.latencies_ns = (
+                completion[order] * costs.cycle_seconds
+            ) * 1e9
+        else:
+            result.latencies_ns = np.zeros(0)

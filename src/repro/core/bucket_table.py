@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
+import numpy as np
+
 from repro.core.config import OP_RECORD_BYTES
 from repro.core.prefixing import PrefixExtractor
 from repro.errors import ConfigError
@@ -47,10 +49,28 @@ class BucketTables:
         self.total_ops = 0
 
     def combine(self, operations: Sequence[Operation]) -> None:
-        """The PCU's Combine_Operation stage for one batch."""
-        for op in operations:
-            self.buckets[self.extractor.bucket(op.key)].append(op)
-            self.total_ops += 1
+        """The PCU's Combine_Operation stage for one batch.
+
+        Bucket assignment is computed for the whole batch at once
+        (:meth:`PrefixExtractor.buckets_for`); the scatter into buckets
+        is a stable argsort + one gather per bucket, which preserves
+        arrival order within each bucket exactly like the scalar
+        append loop it replaces.
+        """
+        ops = operations if isinstance(operations, list) else list(operations)
+        if ops:
+            indices = self.extractor.buckets_for([op.key for op in ops])
+            order = np.argsort(indices, kind="stable")
+            sorted_ops = np.asarray(ops, dtype=object)[order]
+            counts = np.bincount(indices, minlength=self.n_buckets)
+            buckets = self.buckets
+            start = 0
+            for index, count in enumerate(counts.tolist()):
+                if count:
+                    end = start + count
+                    buckets[index].extend(sorted_ops[start:end].tolist())
+                    start = end
+            self.total_ops += len(ops)
         overflow = self.total_ops * OP_RECORD_BYTES - self.buffer_bytes
         if overflow > 0:
             self.spilled_bytes += overflow

@@ -20,6 +20,8 @@ from __future__ import annotations
 from collections import Counter
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.errors import ConfigError
 
 #: A byte position qualifies if its most common value covers at most this
@@ -47,6 +49,29 @@ class PrefixExtractor:
     def bucket(self, key: bytes) -> int:
         """The bucket (= Bucket_Table index) the PCU assigns the key to."""
         return self.prefix(key) % self.n_buckets
+
+    def buckets_for(self, keys: Sequence[bytes]) -> np.ndarray:
+        """Vectorised :meth:`bucket` over a whole batch of keys.
+
+        Concatenates the batch once (C-speed) and gathers the prefix
+        byte of every key with numpy indexing — the hardware analogue is
+        the PCU's ``Get_Prefix`` stage reading one byte per scanned
+        operation.  Keys shorter than the offset get prefix 0, exactly
+        like the scalar path.
+        """
+        n = len(keys)
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        offset = self.byte_offset
+        data = np.frombuffer(b"".join(keys), dtype=np.uint8)
+        lengths = np.fromiter(map(len, keys), dtype=np.int64, count=n)
+        starts = np.empty(n, dtype=np.int64)
+        starts[0] = 0
+        np.cumsum(lengths[:-1], out=starts[1:])
+        prefixes = np.zeros(n, dtype=np.int64)
+        valid = lengths > offset
+        prefixes[valid] = data[starts[valid] + offset]
+        return prefixes % self.n_buckets
 
     @classmethod
     def calibrate(

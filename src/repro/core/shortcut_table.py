@@ -22,7 +22,7 @@ from repro.core.lru_buffer import LruBuffer
 from repro.core.config import SHORTCUT_ENTRY_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class ShortcutEntry:
     """One Shortcut_Table row."""
 

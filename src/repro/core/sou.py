@@ -26,22 +26,26 @@ from __future__ import annotations
 import math
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from heapq import heappop, heappush
+from typing import List, Optional
 
 from repro.art.nodes import Leaf
-from repro.art.stats import CACHE_LINE_BYTES, lines_for
+from repro.art.stats import CACHE_LINE_BYTES
 from repro.art.tree import AdaptiveRadixTree
+from repro.core.config import SHORTCUT_ENTRY_BYTES
 from repro.core.dispatcher import DispatchedBucket
 from repro.core.shortcut_table import ShortcutTable
+from repro.core.tree_buffer import ValueAwareTreeBuffer
 from repro.engines.base import apply_operation
+from repro.errors import ConfigError
 from repro.model.costs import FpgaCosts
-from repro.workloads.ops import OpKind, Operation
+from repro.workloads.ops import OpKind
 
 #: Steady-state initiation interval of the 4-stage pipeline (cycles/op).
 PIPELINE_II = 2
 
 
-@dataclass
+@dataclass(slots=True)
 class BucketOutcome:
     """Counters and timing for one bucket processed by one SOU."""
 
@@ -72,8 +76,10 @@ class BucketOutcome:
     # Completion cycle (within this bucket) of every op, for latency.
     completion_cycles: List[int] = field(default_factory=list)
     op_ids: List[int] = field(default_factory=list)
-    node_access_counts: Counter = field(default_factory=Counter)
-    seen_nodes: set = field(default_factory=set)
+    # Node ids in visit order; the accelerator folds every bucket's list
+    # into one Counter at aggregation time (one counting pass over the
+    # run instead of a per-bucket count plus a per-bucket merge).
+    visited_ids: List[int] = field(default_factory=list)
 
 
 class ShortcutOperatingUnit:
@@ -100,97 +106,415 @@ class ShortcutOperatingUnit:
         #: Optional :class:`~repro.faults.FaultInjector`: supplies the
         #: slow-down multiplier and accounts corrupted-shortcut retries.
         self.injector = injector
+        # Stall constants, hoisted out of the per-op loop: the throughput
+        # cost of an off-chip access is its latency divided by the
+        # outstanding-request depth (latency hiding), rounded up.
+        mlp = costs.memory_parallelism
+        self._shortcut_miss_stall = -(
+            -(costs.shortcut_offchip_cycles - costs.shortcut_lookup_cycles)
+            // mlp
+        )
+        self._tree_miss_stall = -(-costs.tree_offchip_cycles // mlp)
 
     # ------------------------------------------------------------------
 
     def process_bucket(self, bucket: DispatchedBucket) -> BucketOutcome:
+        """Drain one bucket through the 4-stage pipeline.
+
+        This is the simulator's innermost loop (hundreds of thousands of
+        calls per run), so the shortcut fast path, the Tree_buffer fetch
+        and the per-visit counters are inlined here with every attribute
+        lookup hoisted to a local.  The cycle arithmetic is kept
+        *identical* to the original per-op helpers — the golden
+        determinism test (tests/harness/test_golden_determinism.py)
+        holds this loop to bit-identical results.
+        """
+        ops = bucket.operations
         outcome = BucketOutcome(bucket_id=bucket.bucket_id, sou_id=self.sou_id)
-        outcome.coalesced_contended_groups = count_contended_groups(
-            bucket.operations
-        )
+        outcome.coalesced_contended_groups = count_contended_groups(ops)
+        injector = self.injector
         slowdown = (
-            self.injector.slowdown_factor(self.sou_id)
-            if self.injector is not None
+            injector.slowdown_factor(self.sou_id)
+            if injector is not None
             else 1.0
         )
+        slow = slowdown > 1.0
+
+        tree = self.tree
+        node_at = tree._by_address.get
+        shortcuts = self.shortcuts
+        # The Shortcut_buffer probe (LruBuffer.lookup + dict get + pull
+        # on-chip) is unrolled here: one probe per operation makes the
+        # call overhead itself measurable.  Accounting (hits, misses,
+        # insert order) matches ShortcutTable.lookup exactly.
+        if shortcuts is not None:
+            sc_entries_get = shortcuts._entries.get
+            sc_buf = shortcuts.buffer
+            sc_buf_entries = sc_buf._entries
+            sc_buf_move = sc_buf_entries.move_to_end
+            sc_buf_insert = sc_buf.insert
+            sc_buf_pop = sc_buf_entries.popitem
+            sc_cap = sc_buf.capacity_bytes
+        tb = self.tree_buffer
+        fetch_node = tb.fetch
+        fvalue = float(bucket.value)
+        # When the Tree_buffer is the (default) value-aware one, its
+        # fetch is fully inlined at the three call sites below — probe,
+        # hit refresh, and miss admit-with-eviction mirror
+        # ValueAwareTreeBuffer.fetch statement for statement, and the
+        # golden determinism test holds the two to identical state.  The
+        # normalised value is loop-invariant per bucket (one value, one
+        # decay multiplier), so the division happens once here.
+        value_aware = type(tb) is ValueAwareTreeBuffer
+        if value_aware:
+            tb_resident = tb._resident
+            tb_resident_get = tb_resident.get
+            tb_heap = tb._heap
+            tb_capacity = tb.capacity_bytes
+            norm = fvalue / tb._mult
+        shortcut_miss_stall = self._shortcut_miss_stall
+        tree_miss_stall = self._tree_miss_stall
+        structure_cycles = self.costs.structure_op_cycles
+        read_kind = OpKind.READ
+        write_kind = OpKind.WRITE
+        ceil = math.ceil
+
         clock = 0
-        for op in bucket.operations:
-            cycles = self._process_op(op, bucket.value, outcome)
-            if slowdown > 1.0:
-                cycles = math.ceil(cycles * slowdown)
-            clock += cycles
-            outcome.completion_cycles.append(clock)
-            outcome.op_ids.append(op.op_id)
-            outcome.n_ops += 1
-        outcome.cycles = clock
-        return outcome
+        completions_append = outcome.completion_cycles.append
+        sync_targets = outcome.global_sync_targets
+        visited_ids: List[int] = []  # node ids, in visit order
+        visited_append = visited_ids.append
+        bytes_fetched = 0
+        bytes_used = 0
+        offchip_lines = 0
+        partial_matches = 0
+        shortcut_hits = 0
+        shortcut_misses = 0
+        stale_shortcuts = 0
+        traversals = 0
+        sc_buf_hits = 0
+        sc_buf_misses = 0
 
-    # ------------------------------------------------------------------
+        for op in ops:
+            stall_cycles = 0
+            key = op.key
+            kind = op.kind
+            served = False
 
-    def _process_op(
-        self, op: Operation, bucket_value: int, outcome: BucketOutcome
-    ) -> int:
-        """Execute one operation; returns its pipeline cycles."""
-        costs = self.costs
-        stall_cycles = 0
+            entry = None
+            if shortcuts is not None:
+                entry = sc_entries_get(key)
+                if key in sc_buf_entries:
+                    sc_buf_move(key)
+                    sc_buf_hits += 1
+                else:
+                    sc_buf_misses += 1
+                    stall_cycles = shortcut_miss_stall
+                    if entry is not None:
+                        # Off-chip hit pulls the entry on chip for reuse
+                        # (LruBuffer.insert inlined: the key is known to
+                        # be absent from the buffer on this branch).
+                        if SHORTCUT_ENTRY_BYTES > sc_cap:
+                            sc_buf_insert(key, SHORTCUT_ENTRY_BYTES)
+                        else:
+                            scb_used = sc_buf.used_bytes
+                            while scb_used + SHORTCUT_ENTRY_BYTES > sc_cap:
+                                _, old_size = sc_buf_pop(last=False)
+                                scb_used -= old_size
+                                sc_buf.evictions += 1
+                            sc_buf_entries[key] = SHORTCUT_ENTRY_BYTES
+                            sc_buf.used_bytes = (
+                                scb_used + SHORTCUT_ENTRY_BYTES
+                            )
+                if entry is not None and (
+                    kind is read_kind or kind is write_kind
+                ):
+                    # Shortcut fast path: fetch the target by address and
+                    # validate it still holds this op's key.
+                    node = node_at(entry.target_address)
+                    if type(node) is Leaf and node.key == key:
+                        used = len(node.key) + 8  # used_bytes_for_descent
+                        # For a Leaf, size_bytes (header + key + pointer)
+                        # equals header + used, so the fetch span *is*
+                        # the node size.
+                        size = 16 + used
+                        lines = -(-size // CACHE_LINE_BYTES)
+                        addr = node.address
+                        if not value_aware:
+                            hit = fetch_node(addr, size, fvalue)
+                        else:
+                            tb_entry = tb_resident_get(addr)
+                            if tb_entry is not None:
+                                tb.hits += 1
+                                seq = tb._seq + 1
+                                tb._seq = seq
+                                tb_resident[addr] = (norm, seq, tb_entry[2])
+                                heappush(tb_heap, (norm, seq, addr))
+                                hit = True
+                            else:
+                                tb.misses += 1
+                                if size > tb_capacity:
+                                    raise ConfigError(
+                                        f"node of {size} B exceeds "
+                                        f"Tree_buffer capacity"
+                                    )
+                                admitted = True
+                                while tb.used_bytes + size > tb_capacity:
+                                    victim_addr = None
+                                    while tb_heap:
+                                        victim = heappop(tb_heap)
+                                        cur = tb_resident_get(victim[2])
+                                        if (
+                                            cur is not None
+                                            and cur[0] == victim[0]
+                                            and cur[1] == victim[1]
+                                        ):
+                                            victim_addr = victim[2]
+                                            break
+                                    if victim_addr is None:
+                                        break
+                                    if victim[0] > norm:
+                                        heappush(tb_heap, victim)
+                                        tb.rejected_inserts += 1
+                                        admitted = False
+                                        break
+                                    tb.used_bytes -= tb_resident.pop(
+                                        victim_addr
+                                    )[2]
+                                    tb.evictions += 1
+                                if admitted:
+                                    tb.used_bytes += size
+                                    seq = tb._seq + 1
+                                    tb._seq = seq
+                                    tb_resident[addr] = (norm, seq, size)
+                                    heappush(tb_heap, (norm, seq, addr))
+                                hit = False
+                        if hit:
+                            fast_cycles = 0
+                        else:
+                            offchip_lines += lines
+                            fast_cycles = tree_miss_stall
+                        visited_append(node.node_id)
+                        bytes_fetched += lines * CACHE_LINE_BYTES
+                        bytes_used += used
+                        if kind is write_kind:
+                            node.value = op.value
+                            parent_address = entry.parent_address
+                            parent = (
+                                node_at(parent_address)
+                                if parent_address is not None
+                                else None
+                            )
+                            if parent is not None:
+                                if type(parent) is Leaf:
+                                    p_used = len(parent.key) + 8
+                                    p_size = 16 + p_used
+                                    p_span = p_size
+                                else:
+                                    p_used = len(parent.prefix) + 9
+                                    p_size = parent.size_bytes
+                                    p_span = (
+                                        p_size
+                                        if p_size < 16 + p_used
+                                        else 16 + p_used
+                                    )
+                                p_lines = -(-p_span // CACHE_LINE_BYTES)
+                                addr = parent.address
+                                if not value_aware:
+                                    hit = fetch_node(addr, p_size, fvalue)
+                                else:
+                                    tb_entry = tb_resident_get(addr)
+                                    if tb_entry is not None:
+                                        tb.hits += 1
+                                        seq = tb._seq + 1
+                                        tb._seq = seq
+                                        tb_resident[addr] = (
+                                            norm, seq, tb_entry[2],
+                                        )
+                                        heappush(tb_heap, (norm, seq, addr))
+                                        hit = True
+                                    else:
+                                        tb.misses += 1
+                                        if p_size > tb_capacity:
+                                            raise ConfigError(
+                                                f"node of {p_size} B exceeds"
+                                                f" Tree_buffer capacity"
+                                            )
+                                        admitted = True
+                                        while (
+                                            tb.used_bytes + p_size
+                                            > tb_capacity
+                                        ):
+                                            victim_addr = None
+                                            while tb_heap:
+                                                victim = heappop(tb_heap)
+                                                cur = tb_resident_get(
+                                                    victim[2]
+                                                )
+                                                if (
+                                                    cur is not None
+                                                    and cur[0] == victim[0]
+                                                    and cur[1] == victim[1]
+                                                ):
+                                                    victim_addr = victim[2]
+                                                    break
+                                            if victim_addr is None:
+                                                break
+                                            if victim[0] > norm:
+                                                heappush(tb_heap, victim)
+                                                tb.rejected_inserts += 1
+                                                admitted = False
+                                                break
+                                            tb.used_bytes -= tb_resident.pop(
+                                                victim_addr
+                                            )[2]
+                                            tb.evictions += 1
+                                        if admitted:
+                                            tb.used_bytes += p_size
+                                            seq = tb._seq + 1
+                                            tb._seq = seq
+                                            tb_resident[addr] = (
+                                                norm, seq, p_size,
+                                            )
+                                            heappush(
+                                                tb_heap, (norm, seq, addr)
+                                            )
+                                        hit = False
+                                if not hit:
+                                    offchip_lines += p_lines
+                                    fast_cycles += tree_miss_stall
+                                visited_append(parent.node_id)
+                                bytes_fetched += p_lines * CACHE_LINE_BYTES
+                                bytes_used += p_used
+                        shortcut_hits += 1
+                        if fast_cycles < PIPELINE_II:
+                            fast_cycles = PIPELINE_II
+                        cycles = stall_cycles + fast_cycles
+                        if cycles < PIPELINE_II:
+                            cycles = PIPELINE_II
+                        served = True
+                    else:
+                        if entry.corrupted:
+                            # Fault-injected corruption: the unit retries
+                            # the off-chip table with exponential backoff
+                            # before conceding, then repairs by full
+                            # traversal like any stale entry.
+                            stall_cycles += self._corrupted_retry(outcome)
+                        stale_shortcuts += 1
+                        shortcuts.note_stale(key)
 
-        entry = None
-        if self.shortcuts is not None:
-            entry, on_chip = self.shortcuts.lookup(op.key)
-            if not on_chip:
-                offchip = costs.shortcut_offchip_cycles - costs.shortcut_lookup_cycles
-                stall_cycles += -(-offchip // costs.memory_parallelism)
-            if entry is not None and op.kind in (OpKind.READ, OpKind.WRITE):
-                served, fast_cycles = self._try_shortcut_path(
-                    op, entry, bucket_value, outcome
+            if not served:
+                # Full traversal (Traverse_Tree the long way).
+                record = apply_operation(tree, op)
+                traversals += 1
+                shortcut_misses += 1
+                for t_node_id, addr, t_size, t_used, t_kind in record.touches:
+                    fetch = t_size if t_size < 16 + t_used else 16 + t_used
+                    lines = -(-fetch // CACHE_LINE_BYTES)
+                    if not value_aware:
+                        hit = fetch_node(addr, t_size, fvalue)
+                    else:
+                        tb_entry = tb_resident_get(addr)
+                        if tb_entry is not None:
+                            tb.hits += 1
+                            seq = tb._seq + 1
+                            tb._seq = seq
+                            tb_resident[addr] = (norm, seq, tb_entry[2])
+                            heappush(tb_heap, (norm, seq, addr))
+                            hit = True
+                        else:
+                            tb.misses += 1
+                            if t_size > tb_capacity:
+                                raise ConfigError(
+                                    f"node of {t_size} B exceeds "
+                                    f"Tree_buffer capacity"
+                                )
+                            admitted = True
+                            while tb.used_bytes + t_size > tb_capacity:
+                                victim_addr = None
+                                while tb_heap:
+                                    victim = heappop(tb_heap)
+                                    cur = tb_resident_get(victim[2])
+                                    if (
+                                        cur is not None
+                                        and cur[0] == victim[0]
+                                        and cur[1] == victim[1]
+                                    ):
+                                        victim_addr = victim[2]
+                                        break
+                                if victim_addr is None:
+                                    break
+                                if victim[0] > norm:
+                                    heappush(tb_heap, victim)
+                                    tb.rejected_inserts += 1
+                                    admitted = False
+                                    break
+                                tb.used_bytes -= tb_resident.pop(
+                                    victim_addr
+                                )[2]
+                                tb.evictions += 1
+                            if admitted:
+                                tb.used_bytes += t_size
+                                seq = tb._seq + 1
+                                tb._seq = seq
+                                tb_resident[addr] = (norm, seq, t_size)
+                                heappush(tb_heap, (norm, seq, addr))
+                            hit = False
+                    if not hit:
+                        offchip_lines += lines
+                        stall_cycles += tree_miss_stall
+                    visited_append(t_node_id)
+                    bytes_fetched += lines * CACHE_LINE_BYTES
+                    bytes_used += t_used
+                    if t_kind != "Leaf":
+                        partial_matches += 1
+
+                if record.structure_modified:
+                    stall_cycles += structure_cycles
+                    self._invalidate_dead_nodes(record)
+                    if modifies_shared_ancestor(
+                        record, self.shared_depth_bytes
+                    ):
+                        sync_targets.append(record.target_node_id or -1)
+
+                if shortcuts is not None:
+                    record_outcome = record.outcome
+                    if (
+                        record_outcome in ("hit", "updated")
+                        and record.target_address is not None
+                    ):
+                        shortcuts.generate(
+                            key, record.target_address, record.parent_address
+                        )
+                    elif record_outcome == "deleted":
+                        shortcuts.drop(key)
+
+                cycles = (
+                    stall_cycles if stall_cycles > PIPELINE_II else PIPELINE_II
                 )
-                if served:
-                    return max(PIPELINE_II, stall_cycles + fast_cycles)
-                if entry.corrupted:
-                    # Fault-injected corruption: the unit retries the
-                    # off-chip table with exponential backoff before
-                    # conceding (a transient-corruption heuristic), then
-                    # repairs by full traversal like any stale entry.
-                    stall_cycles += self._corrupted_retry(outcome)
-                outcome.stale_shortcuts += 1
-                self.shortcuts.note_stale(op.key)
 
-        # Full traversal (Traverse_Tree the long way).
-        record = apply_operation(self.tree, op)
-        outcome.traversals += 1
-        outcome.shortcut_misses += 1
-        for touch in record.touches:
-            stall_cycles += self._fetch_node(
-                touch.address,
-                touch.size_bytes,
-                touch.fetch_bytes,
-                bucket_value,
-                outcome,
-            )
-            self._count_visit(
-                touch.node_id, touch.fetch_bytes, touch.used_bytes, outcome
-            )
-            if touch.kind != "Leaf":
-                outcome.partial_key_matches += 1
+            if slow:
+                cycles = ceil(cycles * slowdown)
+            clock += cycles
+            completions_append(clock)
 
-        if record.structure_modified:
-            stall_cycles += costs.structure_op_cycles
-            self._invalidate_dead_nodes(record)
-            if self._modifies_shared_ancestor(record):
-                outcome.global_sync_targets.append(record.target_node_id or -1)
-
-        if (
-            self.shortcuts is not None
-            and record.outcome in ("hit", "updated")
-            and record.target_address is not None
-        ):
-            self.shortcuts.generate(
-                op.key, record.target_address, record.parent_address
-            )
-        if self.shortcuts is not None and record.outcome == "deleted":
-            self.shortcuts.drop(op.key)
-
-        return max(PIPELINE_II, stall_cycles)
+        outcome.op_ids = [op.op_id for op in ops]
+        if shortcuts is not None:
+            sc_buf.hits += sc_buf_hits
+            sc_buf.misses += sc_buf_misses
+        outcome.n_ops = len(ops)
+        outcome.cycles = clock
+        outcome.nodes_visited = len(visited_ids)
+        outcome.bytes_fetched = bytes_fetched
+        outcome.bytes_used = bytes_used
+        outcome.offchip_lines = offchip_lines
+        outcome.partial_key_matches = partial_matches
+        outcome.shortcut_hits = shortcut_hits
+        outcome.shortcut_misses = shortcut_misses
+        outcome.stale_shortcuts = stale_shortcuts
+        outcome.traversals = traversals
+        outcome.visited_ids = visited_ids
+        return outcome
 
     def _corrupted_retry(self, outcome: BucketOutcome) -> int:
         """Bill the bounded retry-with-backoff on a corrupted entry."""
@@ -203,79 +527,6 @@ class ShortcutOperatingUnit:
         if self.injector is not None:
             self.injector.note_corrupted_hit(retry_cycles)
         return retry_cycles
-
-    def _try_shortcut_path(
-        self, op: Operation, entry, bucket_value: int, outcome: BucketOutcome
-    ) -> Tuple[bool, int]:
-        """Serve the op directly from a shortcut; False if the entry is stale."""
-        node = self.tree.node_at(entry.target_address)
-        if not isinstance(node, Leaf) or node.key != op.key:
-            return False, 0
-        used = node.used_bytes_for_descent()
-        span = min(node.size_bytes, 16 + used)
-        cycles = self._fetch_node(
-            node.address, node.size_bytes, span, bucket_value, outcome
-        )
-        self._count_visit(node.node_id, span, used, outcome)
-        if op.kind is OpKind.WRITE:
-            node.value = op.value
-            parent = (
-                self.tree.node_at(entry.parent_address)
-                if entry.parent_address is not None
-                else None
-            )
-            if parent is not None:
-                parent_used = parent.used_bytes_for_descent()
-                parent_span = min(parent.size_bytes, 16 + parent_used)
-                cycles += self._fetch_node(
-                    parent.address,
-                    parent.size_bytes,
-                    parent_span,
-                    bucket_value,
-                    outcome,
-                )
-                self._count_visit(parent.node_id, parent_span, parent_used, outcome)
-        outcome.shortcut_hits += 1
-        return True, max(PIPELINE_II, cycles)
-
-    # ------------------------------------------------------------------
-
-    def _fetch_node(
-        self,
-        address: int,
-        size_bytes: int,
-        fetch_bytes: int,
-        bucket_value: int,
-        outcome: BucketOutcome,
-    ) -> int:
-        """Fetch one node through the Tree_buffer; returns stall cycles.
-
-        An off-chip miss does not freeze the SOU for the full HBM latency:
-        the pipeline keeps ``memory_parallelism`` requests in flight, so
-        the *throughput* cost per miss is the latency divided by the
-        outstanding-request depth (standard latency hiding).  A miss
-        moves only the lines the descent indexes (``fetch_bytes``), but
-        the buffer reserves the node's full footprint.
-        """
-        if self.tree_buffer.lookup(address):
-            # Refresh the resident node's value with the current batch's
-            # estimate so aged entries recover while they stay hot.
-            self.tree_buffer.set_value(address, float(bucket_value))
-            return 0  # BRAM access is hidden by the pipeline
-        outcome.offchip_lines += lines_for(fetch_bytes)
-        self.tree_buffer.admit(address, size_bytes, float(bucket_value))
-        mlp = self.costs.memory_parallelism
-        return -(-self.costs.tree_offchip_cycles // mlp)
-
-    @staticmethod
-    def _count_visit(
-        node_id: int, fetch_bytes: int, used_bytes: int, outcome: BucketOutcome
-    ) -> None:
-        outcome.nodes_visited += 1
-        outcome.node_access_counts[node_id] += 1
-        outcome.seen_nodes.add(node_id)
-        outcome.bytes_fetched += lines_for(fetch_bytes) * CACHE_LINE_BYTES
-        outcome.bytes_used += used_bytes
 
     def _invalidate_dead_nodes(self, record) -> None:
         """Evict buffer entries whose addresses died in this mutation."""
@@ -305,12 +556,15 @@ def count_contended_groups(operations) -> int:
     lock acquisition, so it registers one contention where an
     operation-centric engine would register ``k - 1``.
     """
-    counts: Counter = Counter()
-    writers: set = set()
-    for op in operations:
-        counts[op.key] += 1
-        if op.kind.is_write:
-            writers.add(op.key)
+    if not isinstance(operations, list):
+        operations = list(operations)
+    counts = Counter([op.key for op in operations])
+    if len(counts) == len(operations):
+        return 0  # every key unique: nothing coalesces
+    write, delete = OpKind.WRITE, OpKind.DELETE
+    writers = {
+        op.key for op in operations if op.kind is write or op.kind is delete
+    }
     return sum(1 for key, count in counts.items() if count > 1 and key in writers)
 
 

@@ -12,14 +12,29 @@ impossible by construction.
 
 Implementation: a dict for O(1) probes plus a lazy min-heap of
 ``(value, address)`` entries; superseded heap entries are skipped on pop.
+
+Decay is *lazy*: ageing every resident value each batch would rebuild
+the whole heap, so the buffer instead keeps one cumulative decay
+multiplier and stores every value *normalised* by the multiplier in
+force when it was written.  Effective value = stored / multiplier at
+write time x multiplier now; ordering among normalised values is
+invariant under decay (all effective values scale together), so
+``decay()`` is O(1) and eviction order is exactly what the eager
+rebuild produced.  With the default factor 0.5 every scaling step is a
+power of two, hence exact in binary floating point.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Dict, Optional, Tuple
 
 from repro.errors import ConfigError
+
+#: Renormalisation threshold: when the cumulative decay multiplier
+#: drops below this, it is folded into the stored values (exactly, for
+#: power-of-two factors) so it can never underflow to zero.
+_MIN_MULT = 1e-150
 
 
 class ValueAwareTreeBuffer:
@@ -36,10 +51,13 @@ class ValueAwareTreeBuffer:
         if capacity_bytes <= 0:
             raise ConfigError(f"capacity must be positive: {capacity_bytes}")
         self.capacity_bytes = capacity_bytes
-        # addr -> (value, seq, size); heap of (value, seq, addr), lazy.
+        # addr -> (normalised value, seq, size); heap of (norm, seq, addr),
+        # lazy.  Effective value of an entry = norm * _mult.
         self._resident: Dict[int, Tuple[float, int, int]] = {}
         self._heap: list = []
         self._seq = 0
+        #: Cumulative decay multiplier (product of all decay factors).
+        self._mult = 1.0
         self.used_bytes = 0
         self.hits = 0
         self.misses = 0
@@ -52,14 +70,10 @@ class ValueAwareTreeBuffer:
     def __contains__(self, address: int) -> bool:
         return address in self._resident
 
-    def _next_seq(self) -> int:
+    def _set(self, address: int, norm: float, size: int) -> None:
         self._seq += 1
-        return self._seq
-
-    def _set(self, address: int, value: float, size: int) -> None:
-        seq = self._next_seq()
-        self._resident[address] = (value, seq, size)
-        heapq.heappush(self._heap, (value, seq, address))
+        self._resident[address] = (norm, self._seq, size)
+        heappush(self._heap, (norm, self._seq, address))
 
     def lookup(self, address: int) -> bool:
         """Probe the buffer for a node fetch (refreshes recency)."""
@@ -71,16 +85,89 @@ class ValueAwareTreeBuffer:
         self.misses += 1
         return False
 
+    def probe(self, address: int, value: float) -> bool:
+        """Fused ``lookup`` + ``set_value`` for the SOU fetch path.
+
+        On a hit the resident entry is refreshed (recency) and re-valued
+        in one heap push instead of two; hit/miss accounting and the
+        relative recency order match the unfused pair exactly.
+        """
+        entry = self._resident.get(address)
+        if entry is None:
+            self.misses += 1
+            return False
+        self.hits += 1
+        self._seq += 1
+        seq = self._seq
+        norm = value / self._mult
+        self._resident[address] = (norm, seq, entry[2])
+        heappush(self._heap, (norm, seq, address))
+        return True
+
+    def fetch(self, address: int, size_bytes: int, value: float) -> bool:
+        """Fused ``probe`` + ``admit``-on-miss: one node fetch, one call.
+
+        The SOU's per-touch sequence is always "probe; if miss, admit" —
+        fusing them saves a call and a residency lookup per touch on the
+        innermost path.  Returns True on a buffer hit; accounting, heap
+        contents, and eviction decisions are exactly the unfused pair's.
+        """
+        resident = self._resident
+        heap = self._heap
+        norm = value / self._mult
+        entry = resident.get(address)
+        if entry is not None:
+            self.hits += 1
+            seq = self._seq + 1
+            self._seq = seq
+            resident[address] = (norm, seq, entry[2])
+            heappush(heap, (norm, seq, address))
+            return True
+        self.misses += 1
+        capacity = self.capacity_bytes
+        if size_bytes <= 0:
+            raise ConfigError(f"node size must be positive: {size_bytes}")
+        if size_bytes > capacity:
+            raise ConfigError(
+                f"node of {size_bytes} B exceeds Tree_buffer capacity"
+            )
+        while self.used_bytes + size_bytes > capacity:
+            victim_addr = None
+            while heap:
+                victim = heappop(heap)
+                current = resident.get(victim[2])
+                if (
+                    current is not None
+                    and current[0] == victim[0]
+                    and current[1] == victim[1]
+                ):
+                    victim_addr = victim[2]
+                    break
+            if victim_addr is None:
+                break
+            if victim[0] > norm:
+                heappush(heap, victim)
+                self.rejected_inserts += 1
+                return False
+            self.used_bytes -= resident.pop(victim_addr)[2]
+            self.evictions += 1
+        self.used_bytes += size_bytes
+        seq = self._seq + 1
+        self._seq = seq
+        resident[address] = (norm, seq, size_bytes)
+        heappush(heap, (norm, seq, address))
+        return False
+
     def value_of(self, address: int) -> Optional[float]:
         entry = self._resident.get(address)
-        return entry[0] if entry else None
+        return entry[0] * self._mult if entry else None
 
     def set_value(self, address: int, value: float) -> None:
         """Re-estimate a resident node's value (new batch, new buckets)."""
         entry = self._resident.get(address)
         if entry is None:
             return
-        self._set(address, value, entry[2])
+        self._set(address, value / self._mult, entry[2])
 
     def admit(self, address: int, size_bytes: int, value: float) -> bool:
         """Offer a fetched node to the buffer; returns True if cached.
@@ -91,47 +178,58 @@ class ValueAwareTreeBuffer:
         (SIII-E's Value_x > Value_low rule, with >= so same-value nodes
         rotate instead of freezing the buffer).
         """
+        capacity = self.capacity_bytes
         if size_bytes <= 0:
             raise ConfigError(f"node size must be positive: {size_bytes}")
-        if size_bytes > self.capacity_bytes:
+        if size_bytes > capacity:
             raise ConfigError(
                 f"node of {size_bytes} B exceeds Tree_buffer capacity"
             )
-        existing = self._resident.get(address)
+        resident = self._resident
+        heap = self._heap
+        norm = value / self._mult
+        existing = resident.get(address)
         if existing is not None:
             self.used_bytes += size_bytes - existing[2]
-            self._set(address, max(existing[0], value), size_bytes)
+            e_norm = existing[0]
+            if e_norm < norm:
+                e_norm = norm
+            self._seq += 1
+            seq = self._seq
+            resident[address] = (e_norm, seq, size_bytes)
+            heappush(heap, (e_norm, seq, address))
             return True
 
-        while self.used_bytes + size_bytes > self.capacity_bytes:
-            victim = self._pop_lowest()
-            if victim is None:
+        while self.used_bytes + size_bytes > capacity:
+            # Inline _pop_lowest: lowest live (value, recency) entry.
+            victim_addr = None
+            while heap:
+                victim = heappop(heap)
+                current = resident.get(victim[2])
+                if (
+                    current is not None
+                    and current[0] == victim[0]
+                    and current[1] == victim[1]
+                ):
+                    victim_addr = victim[2]
+                    break
+            if victim_addr is None:
                 break
-            victim_value, victim_seq, victim_addr = victim
-            if victim_value > value:
+            if victim[0] > norm:
                 # The newcomer is strictly colder than everything
                 # resident (Value_x <= Value_low): do not thrash.
-                heapq.heappush(
-                    self._heap, (victim_value, victim_seq, victim_addr)
-                )
+                heappush(heap, victim)
                 self.rejected_inserts += 1
                 return False
-            size = self._resident.pop(victim_addr)[2]
-            self.used_bytes -= size
+            self.used_bytes -= resident.pop(victim_addr)[2]
             self.evictions += 1
 
         self.used_bytes += size_bytes
-        self._set(address, value, size_bytes)
+        self._seq += 1
+        seq = self._seq
+        resident[address] = (norm, seq, size_bytes)
+        heappush(heap, (norm, seq, address))
         return True
-
-    def _pop_lowest(self) -> Optional[Tuple[float, int, int]]:
-        """Lowest-(value, recency) live entry, skipping stale records."""
-        while self._heap:
-            value, seq, address = heapq.heappop(self._heap)
-            current = self._resident.get(address)
-            if current is not None and current[0] == value and current[1] == seq:
-                return value, seq, address
-        return None
 
     def invalidate(self, address: int) -> bool:
         """Drop a node (it was freed by a split/merge/grow)."""
@@ -159,11 +257,26 @@ class ValueAwareTreeBuffer:
             raise ConfigError(f"decay factor must be in (0, 1]: {factor}")
         if factor == 1.0:
             return
+        # Lazy: scale the shared multiplier instead of every entry.
+        # Normalised values (and hence heap order) are untouched.
+        self._mult *= factor
+        if self._mult < _MIN_MULT:
+            self._renormalise()
+
+    def _renormalise(self) -> None:
+        """Fold the multiplier into the stored values before it underflows.
+
+        Every normalised value scales by the same power-of-two-ish
+        constant, so relative order — and with it eviction order — is
+        preserved; this runs once per ~500 half-life decays.
+        """
+        mult = self._mult
         self._heap = []
-        for address, (value, seq, size) in list(self._resident.items()):
-            aged = value * factor
-            self._resident[address] = (aged, seq, size)
-            heapq.heappush(self._heap, (aged, seq, address))
+        for address, (norm, seq, size) in self._resident.items():
+            folded = norm * mult
+            self._resident[address] = (folded, seq, size)
+            heappush(self._heap, (folded, seq, address))
+        self._mult = 1.0
 
     @property
     def hit_rate(self) -> float:
@@ -196,6 +309,18 @@ class LruTreeBuffer:
 
     def lookup(self, address: int) -> bool:
         return self._lru.lookup(address)
+
+    def probe(self, address: int, value: float) -> bool:
+        """Fused lookup + set_value; LRU ignores the value."""
+        return self._lru.lookup(address)
+
+    def fetch(self, address: int, size_bytes: int, value: float) -> bool:
+        """Fused probe + admit-on-miss (see the value-aware buffer)."""
+        lru = self._lru
+        if lru.lookup(address):
+            return True
+        lru.insert(address, size_bytes)
+        return False
 
     def admit(self, address: int, size_bytes: int, value: float) -> bool:
         self._lru.insert(address, size_bytes)

@@ -19,7 +19,6 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.art.stats import TraversalRecord
-from repro.art.traversal import record_traversal
 from repro.art.tree import AdaptiveRadixTree
 from repro.errors import KeyNotFoundError, SimulationError
 from repro.model.platform import Platform
@@ -131,23 +130,32 @@ def apply_operation(tree: AdaptiveRadixTree, op: Operation) -> TraversalRecord:
     absent key) are legal — the walk that discovered the absence is still
     traced and still costs time.
     """
-    with record_traversal(tree, op.kind.value, op.key) as record:
-        if op.kind is OpKind.READ:
+    # Equivalent to `with record_traversal(tree, ...)` but without the
+    # generator-based context manager: this runs once per simulated op,
+    # and the enter/exit generator frames were measurable on profiles.
+    kind = op.kind
+    record = TraversalRecord(op_kind=kind.value, key=op.key)
+    previous = tree._recorder
+    tree._recorder = record
+    try:
+        if kind is OpKind.READ:
             tree.get(op.key)
-        elif op.kind is OpKind.WRITE:
+        elif kind is OpKind.WRITE:
             tree.upsert(op.key, op.value)
-        elif op.kind is OpKind.DELETE:
+        elif kind is OpKind.DELETE:
             try:
                 tree.delete(op.key)
             except KeyNotFoundError:
                 record.outcome = "miss"
-        elif op.kind is OpKind.SCAN:
+        elif kind is OpKind.SCAN:
             low = op.key
             for count, _ in enumerate(tree.range_scan(low, b"\xff" * 16)):
                 if count + 1 >= max(1, op.scan_count):
                     break
         else:  # pragma: no cover - OpKind is closed
             raise SimulationError(f"unhandled operation kind: {op.kind}")
+    finally:
+        tree._recorder = previous
     return record
 
 

@@ -24,7 +24,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.art.stats import TraversalRecord, lines_for, CACHE_LINE_BYTES
+from repro.art.stats import TraversalRecord, CACHE_LINE_BYTES
 from repro.art.tree import AdaptiveRadixTree
 from repro.concurrency.cas import CasCostModel
 from repro.concurrency.locks import RowexLockTable
@@ -36,17 +36,22 @@ from repro.model.platform import CPU_PLATFORM, Platform
 from repro.workloads.ops import Workload
 
 
-@dataclass
-class PricedOp:
-    """One operation after cost assignment."""
+@dataclass(slots=True)
+class PricedRun:
+    """All operations after cost assignment, as parallel arrays.
 
-    target: int          # conflict-group node (what a lock would protect)
-    is_write: bool
-    service_ns: float    # total lock-free service time
-    hold_ns: float       # critical-section part of the service
-    traverse_ns: float
-    sync_ns: float
-    other_ns: float
+    Column-wise storage (one list per field) instead of one object per
+    op: the pricing loop runs once per simulated operation, and the
+    wave simulator wants the columns anyway.
+    """
+
+    targets: List[int]        # conflict-group node (what a lock protects)
+    is_write: List[bool]
+    service_ns: List[float]   # total lock-free service time
+    hold_ns: List[float]      # critical-section part of the service
+    traverse_ns: List[float]
+    sync_ns: List[float]
+    other_ns: List[float]
 
 
 class CpuOperationCentricEngine(Engine):
@@ -98,83 +103,116 @@ class CpuOperationCentricEngine(Engine):
         locks = RowexLockTable()
         path_cache: dict = {}
 
-        priced: List[PricedOp] = []
+        # This loop prices every node touch of every operation — the
+        # single hottest stretch of the CPU-baseline engines — so cost
+        # constants and bound methods are hoisted, per-visit counters
+        # are batched into lists, and the NodeTouch fetch-span
+        # properties are inlined (same span = min(size, header+slot)).
+        costs = self.costs
+        dram_ns = costs.node_fetch_dram_ns
+        cached_ns = costs.node_fetch_cached_ns
+        key_match_ns = costs.key_match_ns
+        leaf_op_ns = costs.leaf_op_ns
+        structure_op_ns = costs.structure_op_ns
+        lock_ns = costs.lock_uncontended_ns
+        sync_is_lock = self.sync_scheme == "lock"
+        use_path_cache = self.path_cache_levels > 0
+        llc_access = llc.access
+        llc_contains = llc.contains
+        lock_for_write = locks.lock_for_write
+        cas_cost = cas.cost_ns
+
+        priced = PricedRun([], [], [], [], [], [], [])
+        targets = priced.targets
+        write_flags = priced.is_write
+        service_list = priced.service_ns
+        hold_list = priced.hold_ns
+        traverse_list = priced.traverse_ns
+        sync_list = priced.sync_ns
+        other_list = priced.other_ns
+
         effective_matches = 0
         nodes_visited = 0
-        seen_nodes = set()
+        visited_ids: List[int] = []
         bytes_fetched = bytes_used = 0
         dram_lines = 0
+        n_priced = 0
 
         for record in records:
-            touches = record.touches
-            skipped = self._path_cache_skip(path_cache, record)
-            effective = touches[skipped:]
+            effective = record.touches
+            if use_path_cache:
+                skipped = self._path_cache_skip(path_cache, record)
+                if skipped:
+                    effective = effective[skipped:]
 
             traverse_ns = 0.0
+            inner_effective = 0
             for touch in effective:
-                hits, misses = llc.access(touch.address, touch.fetch_bytes)
+                size = touch.size_bytes
+                used = touch.used_bytes
+                span = size if size < 16 + used else 16 + used
+                hits, misses = llc_access(touch.address, span)
                 dram_lines += misses
                 if misses:
-                    traverse_ns += self.costs.node_fetch_dram_ns
+                    traverse_ns += dram_ns
                 else:
-                    traverse_ns += self.costs.node_fetch_cached_ns
+                    traverse_ns += cached_ns
                 if touch.kind != "Leaf":
-                    traverse_ns += self.costs.key_match_ns
-                nodes_visited += 1
-                seen_nodes.add(touch.node_id)
-                result.node_access_counts[touch.node_id] += 1
-                bytes_fetched += touch.fetch_lines * CACHE_LINE_BYTES
-                bytes_used += touch.used_bytes
+                    traverse_ns += key_match_ns
+                    inner_effective += 1
+                visited_ids.append(touch.node_id)
+                bytes_fetched += (
+                    -(-span // CACHE_LINE_BYTES)
+                ) * CACHE_LINE_BYTES
+                bytes_used += used
 
-            inner_effective = sum(1 for t in effective if t.kind != "Leaf")
+            nodes_visited += len(effective)
             effective_matches += inner_effective
 
-            other_ns = self.costs.leaf_op_ns
+            other_ns = leaf_op_ns
             if record.structure_modified:
-                other_ns += self.costs.structure_op_ns
+                other_ns += structure_op_ns
 
             is_write = record.op_kind in ("write", "delete")
             sync_ns = 0.0
             if is_write:
-                target_addr = record.target_address
-                target_cached = (
-                    llc.contains(target_addr) if target_addr is not None else False
-                )
-                if self.sync_scheme == "lock":
-                    sync_ns = self.costs.lock_uncontended_ns
-                    locks.lock_for_write(
+                if sync_is_lock:
+                    sync_ns = lock_ns
+                    lock_for_write(
                         record.target_node_id or -1,
                         waiting_behind=0,  # queueing handled by the wave model
                         changes_node_type=record.node_type_changed,
                         parent_id=record.parent_node_id,
                     )
                     if record.node_type_changed:
-                        sync_ns += self.costs.lock_uncontended_ns
+                        sync_ns += lock_ns
                 else:
-                    sync_ns = cas.cost_ns(line_cached=target_cached)
+                    target_addr = record.target_address
+                    target_cached = (
+                        llc_contains(target_addr)
+                        if target_addr is not None
+                        else False
+                    )
+                    sync_ns = cas_cost(line_cached=target_cached)
                     if record.node_type_changed:
-                        sync_ns += cas.cost_ns(line_cached=target_cached)
+                        sync_ns += cas_cost(line_cached=target_cached)
 
-            service_ns = traverse_ns + sync_ns + other_ns
-            hold_ns = sync_ns + other_ns
             target = record.target_node_id
             if target is None:
-                target = -1 - (len(priced) % 997)  # misses conflict with nobody
-            priced.append(
-                PricedOp(
-                    target=target,
-                    is_write=is_write,
-                    service_ns=service_ns,
-                    hold_ns=hold_ns,
-                    traverse_ns=traverse_ns,
-                    sync_ns=sync_ns,
-                    other_ns=other_ns,
-                )
-            )
+                target = -1 - (n_priced % 997)  # misses conflict with nobody
+            n_priced += 1
+            targets.append(target)
+            write_flags.append(is_write)
+            service_list.append(traverse_ns + sync_ns + other_ns)
+            hold_list.append(sync_ns + other_ns)
+            traverse_list.append(traverse_ns)
+            sync_list.append(sync_ns)
+            other_list.append(other_ns)
 
         result.partial_key_matches = effective_matches
         result.nodes_visited = nodes_visited
-        result.distinct_nodes_visited = len(seen_nodes)
+        result.node_access_counts.update(visited_ids)
+        result.distinct_nodes_visited = len(set(visited_ids))
         result.bytes_fetched = bytes_fetched
         result.bytes_used = bytes_used
         result.cache_hit_rate = llc.stats.hit_rate
@@ -212,7 +250,7 @@ class CpuOperationCentricEngine(Engine):
     def _price_run(
         self,
         result: RunResult,
-        priced: List[PricedOp],
+        priced: PricedRun,
         dram_lines: int,
         locks: RowexLockTable,
         cas: CasCostModel,
@@ -225,24 +263,25 @@ class CpuOperationCentricEngine(Engine):
             spin_wait=True,
         )
         report = simulator.run(
-            targets=[p.target for p in priced],
-            is_write=[p.is_write for p in priced],
-            cost_ns=[p.service_ns for p in priced],
-            hold_ns=[p.hold_ns for p in priced],
+            targets=priced.targets,
+            is_write=priced.is_write,
+            cost_ns=priced.service_ns,
+            hold_ns=priced.hold_ns,
             collect_latencies=True,
         )
 
         threads = costs.n_threads
-        traverse_total = sum(p.traverse_ns for p in priced) * 1e-9
-        sync_total = sum(p.sync_ns for p in priced) * 1e-9
-        other_total = sum(p.other_ns for p in priced) * 1e-9
+        n_priced = len(priced.targets)
+        traverse_total = sum(priced.traverse_ns) * 1e-9
+        sync_total = sum(priced.sync_ns) * 1e-9
+        other_total = sum(priced.other_ns) * 1e-9
 
         restart_seconds = 0.0
-        if self.reader_restart and priced and report.conflicted_readers:
+        if self.reader_restart and n_priced and report.conflicted_readers:
             # Each conflicted reader re-walks from the root: re-pay the
             # mean traversal once per restart (restarted walks are warm,
             # so the mean — not the tail — is the right price).
-            mean_traverse = traverse_total / len(priced)
+            mean_traverse = traverse_total / n_priced
             restart_seconds = report.conflicted_readers * mean_traverse
             sync_total += restart_seconds
 

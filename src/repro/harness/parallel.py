@@ -1,0 +1,147 @@
+"""Parallel sweep runner: fan (engine, workload, seed) cells over processes.
+
+Experiment grids are embarrassingly parallel — each cell builds its own
+workload and tree from its own seed — so the runner uses a
+``ProcessPoolExecutor`` with one task per cell.  Determinism is kept by
+construction:
+
+* **per-cell seeding** — a cell is a frozen :class:`SweepCell` value and
+  the worker derives *everything* (workload, tree, engine) from it; no
+  state crosses cells and nothing depends on scheduling order;
+* **ordered collection** — results come back via ``Executor.map``, which
+  yields in submission order regardless of completion order.
+
+Consequently ``run_cells(cells, jobs=N)`` returns bit-identical output
+for every ``N`` (including the in-process ``jobs=1`` path), which the
+test suite asserts through the lossless
+:func:`~repro.harness.serialize.result_to_full_dict` encoding.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.harness.serialize import result_to_full_dict
+from repro.workloads import WORKLOAD_NAMES
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid cell: a single engine on a single seeded workload.
+
+    The cell is the complete recipe for its run — workers reconstruct
+    the workload and engine from these fields alone, which is what makes
+    the sweep order- and scheduling-independent.
+    """
+
+    engine: str
+    workload: str
+    seed: int
+    n_keys: int = 10_000
+    n_ops: int = 100_000
+    write_ratio: Optional[float] = None
+    op_skew: Optional[float] = None
+
+    def label(self) -> str:
+        return f"{self.engine}/{self.workload}/seed={self.seed}"
+
+
+def expand_grid(
+    engines: Sequence[str],
+    workloads: Sequence[str],
+    seeds: Sequence[int],
+    n_keys: int = 10_000,
+    n_ops: int = 100_000,
+    write_ratio: Optional[float] = None,
+    op_skew: Optional[float] = None,
+) -> List[SweepCell]:
+    """The full cross product, in (engine, workload, seed) order."""
+    for name in workloads:
+        if name not in WORKLOAD_NAMES:
+            raise ConfigError(f"unknown workload {name!r}")
+    return [
+        SweepCell(
+            engine=engine,
+            workload=workload,
+            seed=seed,
+            n_keys=n_keys,
+            n_ops=n_ops,
+            write_ratio=write_ratio,
+            op_skew=op_skew,
+        )
+        for engine in engines
+        for workload in workloads
+        for seed in seeds
+    ]
+
+
+def run_cell(cell: SweepCell) -> Dict[str, object]:
+    """Execute one cell and return its lossless result dict.
+
+    Module-level (not a closure) so ``ProcessPoolExecutor`` can pickle
+    it; imports are deferred so worker start-up stays cheap.
+    """
+    from repro.harness.runner import default_engines
+    from repro.workloads import make_workload
+
+    workload = make_workload(
+        cell.workload,
+        n_keys=cell.n_keys,
+        n_ops=cell.n_ops,
+        seed=cell.seed,
+        write_ratio=cell.write_ratio,
+        op_skew=cell.op_skew,
+    )
+    engine = default_engines(cell.n_keys, include=[cell.engine])[0]
+    result = engine.run(workload)
+    doc = result_to_full_dict(result)
+    doc["cell"] = {
+        "engine": cell.engine,
+        "workload": cell.workload,
+        "seed": cell.seed,
+        "n_keys": cell.n_keys,
+        "n_ops": cell.n_ops,
+        "write_ratio": cell.write_ratio,
+        "op_skew": cell.op_skew,
+    }
+    return doc
+
+
+def run_cells(
+    cells: Sequence[SweepCell], jobs: int = 1
+) -> List[Dict[str, object]]:
+    """Run every cell, ``jobs`` at a time, collecting in cell order.
+
+    ``jobs=1`` runs in-process (no pool, easier to debug/profile);
+    ``jobs>1`` fans out over processes.  Output is identical either way.
+    """
+    if jobs <= 0:
+        raise ConfigError(f"jobs must be positive: {jobs}")
+    cells = list(cells)
+    if jobs == 1 or len(cells) <= 1:
+        return [run_cell(cell) for cell in cells]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(run_cell, cells, chunksize=1))
+
+
+def summarise(results: Iterable[Dict[str, object]]) -> List[Tuple[str, ...]]:
+    """Compact per-cell rows for table rendering."""
+    rows = []
+    for doc in results:
+        cell = doc["cell"]
+        elapsed = doc["elapsed_seconds"]
+        mops = doc["n_ops"] / elapsed / 1e6 if elapsed else 0.0
+        rows.append(
+            (
+                cell["engine"],
+                cell["workload"],
+                str(cell["seed"]),
+                f"{mops:.2f}",
+                f"{elapsed * 1e3:.3f}",
+                f"{doc['cache_hit_rate']:.3f}",
+            )
+        )
+    return rows

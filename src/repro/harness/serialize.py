@@ -68,6 +68,44 @@ def result_to_dict(result: RunResult) -> dict:
     }
 
 
+def result_to_full_dict(result: RunResult) -> dict:
+    """Lossless flatten of a RunResult, for exact (golden) comparison.
+
+    Unlike :func:`result_to_dict` nothing is summarised: the full per-op
+    latency array and the complete node-access counter go out verbatim.
+    Python's JSON floats round-trip exactly (shortest-repr), so equality
+    of two of these dicts is bit-identity of the results.  Intended for
+    determinism tests, not for large campaign archives.
+    """
+    return {
+        "engine": result.engine,
+        "workload": result.workload,
+        "platform": result.platform,
+        "n_ops": result.n_ops,
+        "elapsed_seconds": result.elapsed_seconds,
+        "breakdown": {
+            "traverse_seconds": result.breakdown.traverse_seconds,
+            "sync_seconds": result.breakdown.sync_seconds,
+            "other_seconds": result.breakdown.other_seconds,
+        },
+        "partial_key_matches": result.partial_key_matches,
+        "nodes_visited": result.nodes_visited,
+        "distinct_nodes_visited": result.distinct_nodes_visited,
+        "bytes_fetched": result.bytes_fetched,
+        "bytes_used": result.bytes_used,
+        "cache_hit_rate": result.cache_hit_rate,
+        "lock_acquisitions": result.lock_acquisitions,
+        "lock_contentions": result.lock_contentions,
+        "energy_joules": result.energy_joules,
+        "latencies_ns": [float(x) for x in result.latencies_ns],
+        "node_access_counts": sorted(
+            [int(node), int(count)]
+            for node, count in result.node_access_counts.items()
+        ),
+        "extra": {k: _jsonable(v) for k, v in sorted(result.extra.items())},
+    }
+
+
 def _jsonable(value):
     if isinstance(value, (bool, int, float, str)) or value is None:
         return value

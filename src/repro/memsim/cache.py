@@ -169,11 +169,23 @@ class SetAssociativeCache:
         """Touch all lines of ``[address, address+size)``; return (hits, misses)."""
         if size_bytes <= 0:
             raise ConfigError(f"access size must be positive: {size_bytes}")
-        first = address // self.line_bytes
-        last = (address + size_bytes - 1) // self.line_bytes
-        hits = misses = 0
+        line_bytes = self.line_bytes
+        first = address // line_bytes
+        last = (address + size_bytes - 1) // line_bytes
         n_sets = self.n_sets
         sets = self._sets
+        stats = self.stats
+        if first == last:
+            # Fast path: node fetches overwhelmingly span a single line.
+            hit, evicted = sets[first % n_sets].access(first // n_sets)
+            if hit:
+                stats.hits += 1
+                return 1, 0
+            stats.misses += 1
+            if evicted is not None:
+                stats.evictions += 1
+            return 0, 1
+        hits = misses = 0
         for line in range(first, last + 1):
             hit, evicted = sets[line % n_sets].access(line // n_sets)
             if hit:

@@ -29,7 +29,7 @@ class OpKind(enum.Enum):
         return self in (OpKind.WRITE, OpKind.DELETE)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Operation:
     """One key-value operation.
 
@@ -51,10 +51,20 @@ class Operation:
 
 
 class OperationStream:
-    """An ordered sequence of operations with summary accessors."""
+    """An ordered sequence of operations with summary accessors.
 
-    def __init__(self, operations: Sequence[Operation]):
-        self._operations: List[Operation] = list(operations)
+    A list passed in is adopted without copying (a 1M-op workload should
+    not exist twice in memory); the caller must not mutate it afterwards.
+    Pass ``copy=True`` to force a private copy, e.g. when the list is
+    reused as a scratch buffer.  Non-list sequences and iterators are
+    always materialised into a fresh list.
+    """
+
+    def __init__(self, operations: Sequence[Operation], *, copy: bool = False):
+        if isinstance(operations, list) and not copy:
+            self._operations: List[Operation] = operations
+        else:
+            self._operations = list(operations)
 
     def __len__(self) -> int:
         return len(self._operations)

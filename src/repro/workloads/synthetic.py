@@ -25,17 +25,26 @@ from repro.art.keys import encode_u64
 from repro.errors import WorkloadError
 
 
+def encode_u64_batch(values: np.ndarray) -> List[bytes]:
+    """Vectorised :func:`~repro.art.keys.encode_u64` over an array.
+
+    One big-endian cast + one buffer concatenation, then C-level slicing
+    — byte-identical to encoding each value individually.
+    """
+    buf = np.ascontiguousarray(values, dtype=np.uint64).astype(">u8").tobytes()
+    return [buf[i : i + 8] for i in range(0, len(buf), 8)]
+
+
 def dense_keys(n_keys: int) -> List[bytes]:
     """DE: ``0..n-1`` ascending."""
     _check(n_keys)
-    return [encode_u64(i) for i in range(n_keys)]
+    return encode_u64_batch(np.arange(n_keys, dtype=np.uint64))
 
 
 def random_dense_keys(n_keys: int, rng: np.random.Generator) -> List[bytes]:
     """RD: ``0..n-1`` in a random permutation."""
     _check(n_keys)
-    order = rng.permutation(n_keys)
-    return [encode_u64(int(i)) for i in order]
+    return encode_u64_batch(rng.permutation(n_keys).astype(np.uint64))
 
 
 def random_sparse_keys(n_keys: int, rng: np.random.Generator) -> List[bytes]:
@@ -44,10 +53,20 @@ def random_sparse_keys(n_keys: int, rng: np.random.Generator) -> List[bytes]:
     seen = set()
     keys: List[bytes] = []
     # Collisions are astronomically rare for realistic n, but the loop
-    # guarantees uniqueness regardless.
+    # guarantees uniqueness regardless.  The draw pattern (one batch of
+    # `need` values per round) is kept identical to the scalar version
+    # so seeded key sets are unchanged.
     while len(keys) < n_keys:
         need = n_keys - len(keys)
         draws = rng.integers(0, 2**64, size=need, dtype=np.uint64)
+        if not seen and len(np.unique(draws)) == need:
+            # Fast path (the overwhelmingly common case): every draw is
+            # fresh, so the whole batch encodes in one shot.
+            keys.extend(encode_u64_batch(draws))
+            if len(keys) == n_keys:
+                break
+            seen.update(draws.tolist())
+            continue
         for value in draws.tolist():
             if value not in seen:
                 seen.add(value)

@@ -214,3 +214,82 @@ class TestFiguresCommand:
         assert (tmp_path / "figs" / "fig3.csv").exists()
         assert (tmp_path / "figs" / "fig3.json").exists()
         experiments.clear_cache()
+
+
+class TestSweepCommand:
+    def test_table_output(self, capsys):
+        assert main([
+            "sweep", "--engines", "ART", "DCART", "--seeds", "1",
+            "--keys", "400", "--ops", "1000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "engine" in out and "Mops/s" in out
+        assert "ART" in out and "DCART" in out
+
+    def test_jobs_parallel_matches_serial_json(self, capsys, tmp_path):
+        common = [
+            "sweep", "--engines", "ART", "DCART", "--seeds", "1", "2",
+            "--keys", "400", "--ops", "1000",
+        ]
+        serial_path = str(tmp_path / "serial.json")
+        pooled_path = str(tmp_path / "pooled.json")
+        assert main(common + ["--jobs", "1", "--json", serial_path]) == 0
+        assert main(common + ["--jobs", "2", "--json", pooled_path]) == 0
+        capsys.readouterr()
+        with open(serial_path) as handle:
+            serial = json.load(handle)
+        with open(pooled_path) as handle:
+            pooled = json.load(handle)
+        assert serial["jobs"] == 1 and pooled["jobs"] == 2
+        assert serial["results"] == pooled["results"]
+
+
+class TestBenchCommand:
+    def test_quick_bench_records_and_checks(self, capsys, tmp_path, monkeypatch):
+        from repro.harness import benchmarking
+
+        monkeypatch.setattr(
+            benchmarking, "QUICK_SPEC",
+            {"name": "IPGEO", "n_keys": 400, "n_ops": 1000,
+             "seed": 5, "op_skew": 0.99},
+        )
+        path = str(tmp_path / "BENCH_speed.json")
+        assert main([
+            "bench", "--quick", "--engines", "DCART",
+            "--record", "--check", "--file", path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sim-ops/s" in out
+        assert "no quick baseline" in out
+        assert f"recorded in {path}" in out
+        doc = benchmarking.load_trajectory(path)
+        assert len(doc["history"]) == 1
+        assert doc["history"][0]["mode"] == "quick"
+
+    def test_check_fails_on_regression(self, capsys, tmp_path, monkeypatch):
+        from repro.harness import benchmarking
+
+        monkeypatch.setattr(
+            benchmarking, "QUICK_SPEC",
+            {"name": "IPGEO", "n_keys": 400, "n_ops": 1000,
+             "seed": 5, "op_skew": 0.99},
+        )
+        path = str(tmp_path / "BENCH_speed.json")
+        impossible = {
+            "git_sha": "f" * 40,
+            "timestamp": "2026-08-06T00:00:00Z",
+            "mode": "quick",
+            "workload": dict(benchmarking.QUICK_SPEC),
+            "engines": {"DCART": {
+                "sim_ops_per_sec": 1e12, "wall_seconds": 1e-9,
+                "peak_rss_bytes": 1, "sim_throughput_mops": 1.0,
+            }},
+        }
+        benchmarking.append_entry(path, impossible)
+        assert main([
+            "bench", "--quick", "--engines", "DCART",
+            "--check", "--file", path,
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "regression detected" in captured.err
