@@ -1,0 +1,115 @@
+"""reprolint: AST-based determinism & invariant analyzer for this repo.
+
+Machine-checks the source-level contracts the reproduction's guarantees
+rest on (see ``docs/STATIC_ANALYSIS.md``):
+
+===========  ==========================================================
+``DET01``    unseeded / global-state randomness in simulated paths
+``DET02``    wall-clock reads outside benchmarking.py / log.py
+``DET03``    set iteration feeding ordering-sensitive sinks
+``COST01``   raw cycle literals outside model/costs.py
+``PAR01``    shared-state mutation in parallel-sweep worker code
+``DUR01``    durable writes missing fsync-before-atomic-rename
+``LINT00``   malformed disable pragma (meta-rule)
+===========  ==========================================================
+
+Run it as ``python -m repro lint`` (or programmatically via
+:func:`lint_paths` / :func:`lint_source`).  Configuration lives in
+``[tool.reprolint]`` of pyproject.toml; per-line suppressions use
+``# reprolint: disable=CODE -- justification``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reprolint.config import (
+    LintConfig,
+    RuleScope,
+    default_config,
+    load_config,
+    permissive_config,
+)
+from repro.analysis.reprolint.diagnostics import Diagnostic
+from repro.analysis.reprolint.engine import (
+    META_CODE,
+    FileReport,
+    Rule,
+    collect_diagnostics,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.reprolint.rules import ALL_RULE_CLASSES, all_rules
+
+__all__ = [
+    "ALL_RULE_CLASSES",
+    "Diagnostic",
+    "FileReport",
+    "LintConfig",
+    "META_CODE",
+    "Rule",
+    "RuleScope",
+    "all_rules",
+    "collect_diagnostics",
+    "default_config",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "main",
+    "permissive_config",
+]
+
+
+def main(
+    paths,
+    pyproject=None,
+    json_out=None,
+    list_rules=False,
+) -> int:
+    """Entry point behind ``repro lint``; returns the process exit code.
+
+    0 = clean, 1 = findings, 2 = a file failed to parse/read.
+    """
+    import json as _json
+    import sys
+
+    rules = all_rules()
+    if list_rules:
+        for rule in rules:
+            doc = (rule.__doc__ or "").strip().splitlines()[0]
+            print(f"{rule.code}  {rule.name}: {doc}")
+        return 0
+
+    config = load_config(pyproject) if pyproject else default_config()
+    reports = lint_paths(paths, rules, config=config)
+    diagnostics = collect_diagnostics(reports)
+    errors = [r.parse_error for r in reports if r.parse_error]
+
+    if json_out is not None:
+        payload = {
+            "files_scanned": len(reports),
+            "findings": [d.to_dict() for d in diagnostics],
+            "errors": errors,
+        }
+        text = _json.dumps(payload, indent=1)
+        if json_out == "-":
+            print(text)
+        else:
+            with open(json_out, "w") as handle:
+                handle.write(text + "\n")
+    else:
+        for diag in diagnostics:
+            print(diag.render())
+        for error in errors:
+            print(error, file=sys.stderr)
+
+    if errors:
+        return 2
+    if diagnostics:
+        print(
+            f"reprolint: {len(diagnostics)} finding(s) in "
+            f"{len(reports)} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    if json_out is None:
+        print(f"reprolint: {len(reports)} file(s) clean")
+    return 0

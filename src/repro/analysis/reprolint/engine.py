@@ -1,0 +1,245 @@
+"""The reprolint rule engine: file walking, pragmas, rule dispatch.
+
+``reprolint`` is an AST-based analyzer (stdlib :mod:`ast` only — no
+runtime dependencies) that machine-checks the source-level invariants
+the reproduction's determinism and durability guarantees rest on.  A
+*rule* inspects one parsed module and yields
+:class:`~repro.analysis.reprolint.diagnostics.Diagnostic` records; the
+engine scopes rules to files (per :mod:`~repro.analysis.reprolint.config`),
+honours per-line disable pragmas, and aggregates the findings.
+
+Disable pragma grammar (a comment on the offending line)::
+
+    # reprolint: disable=DET01 -- justification text
+
+* ``disable=`` takes one code or a comma-separated list;
+* the ``-- justification`` part is **mandatory** — a bare disable is
+  itself reported as ``LINT00`` (the meta-rule), so every suppression
+  in the tree documents *why* the contract does not apply;
+* unknown codes in a pragma are reported as ``LINT00`` too.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.reprolint.config import LintConfig, default_config
+from repro.analysis.reprolint.diagnostics import Diagnostic
+
+#: Meta-rule code for malformed disable pragmas.
+META_CODE = "LINT00"
+
+_PRAGMA_RE = re.compile(
+    r"#\s*reprolint:\s*disable=(?P<codes>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s*--\s*(?P<why>.*\S))?\s*$"
+)
+
+
+class Rule:
+    """Base class for one rule family.
+
+    Subclasses set :attr:`code` and :attr:`name`, write a docstring
+    describing the failing pattern, the contract it protects, and the
+    escape hatch, and implement :meth:`check`.
+    """
+
+    code: str = ""
+    name: str = ""
+
+    def check(
+        self, tree: ast.Module, path: str, source: str
+    ) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diagnostic(self, path: str, node: ast.AST, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+        )
+
+
+@dataclass
+class Pragma:
+    """One parsed ``# reprolint: disable=...`` comment."""
+
+    line: int
+    codes: Tuple[str, ...]
+    justification: Optional[str]
+
+
+@dataclass
+class FileReport:
+    """All findings for one file (after pragma filtering)."""
+
+    path: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    parse_error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics and self.parse_error is None
+
+
+def parse_pragmas(source: str) -> List[Pragma]:
+    """Extract disable pragmas from comment tokens (never from strings)."""
+    pragmas: List[Pragma] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(token.string)
+            if match is None:
+                continue
+            codes = tuple(
+                code.strip().upper()
+                for code in match.group("codes").split(",")
+                if code.strip()
+            )
+            pragmas.append(
+                Pragma(
+                    line=token.start[0],
+                    codes=codes,
+                    justification=match.group("why"),
+                )
+            )
+    except tokenize.TokenError:
+        pass  # the ast.parse in lint_source reports the syntax error
+    return pragmas
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: Sequence[Rule],
+    relpath: Optional[str] = None,
+    config: Optional[LintConfig] = None,
+) -> FileReport:
+    """Run every in-scope rule over one module's source text."""
+    if config is None:
+        config = default_config()
+    if relpath is None:
+        relpath = path.replace(os.sep, "/")
+    report = FileReport(path=path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        report.parse_error = f"{path}:{exc.lineno or 0}: syntax error: {exc.msg}"
+        return report
+
+    pragmas = parse_pragmas(source)
+    known_codes = {rule.code for rule in rules} | {META_CODE}
+    disabled_at: Dict[int, Set[str]] = {}
+    for pragma in pragmas:
+        if pragma.justification is None:
+            report.diagnostics.append(
+                Diagnostic(
+                    path=path, line=pragma.line, col=1, code=META_CODE,
+                    message=(
+                        "disable pragma without justification: write "
+                        "'# reprolint: disable=CODE -- why the contract "
+                        "does not apply here'"
+                    ),
+                )
+            )
+            continue
+        unknown = [c for c in pragma.codes if c not in known_codes]
+        if unknown:
+            report.diagnostics.append(
+                Diagnostic(
+                    path=path, line=pragma.line, col=1, code=META_CODE,
+                    message=f"unknown rule code(s) in disable pragma: "
+                            f"{', '.join(unknown)}",
+                )
+            )
+        disabled_at.setdefault(pragma.line, set()).update(pragma.codes)
+
+    for rule in rules:
+        if not config.rule_enabled(rule.code):
+            continue
+        if not config.scope_for(rule.code).matches(relpath):
+            continue
+        for diag in rule.check(tree, path, source):
+            if rule.code in disabled_at.get(diag.line, ()):
+                continue
+            report.diagnostics.append(diag)
+
+    report.diagnostics.sort()
+    return report
+
+
+def iter_python_files(
+    paths: Sequence[str], exclude: Sequence[str] = ()
+) -> Iterator[Tuple[str, str]]:
+    """Yield ``(abspath, relpath)`` for every ``.py`` under ``paths``.
+
+    ``relpath`` is relative to the scanned root (the argument itself for
+    a directory), normalised to ``/`` separators — the string rule
+    scopes match against.  Order is sorted, for deterministic output.
+    """
+    for root in paths:
+        root = os.path.normpath(root)
+        if os.path.isfile(root):
+            yield root, os.path.basename(root)
+            continue
+        collected = []
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames.sort()
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                full = os.path.join(dirpath, filename)
+                rel = os.path.relpath(full, root).replace(os.sep, "/")
+                collected.append((full, rel))
+        for full, rel in sorted(collected, key=lambda pair: pair[1]):
+            skip = False
+            for entry in exclude:
+                if entry.endswith("/"):
+                    if rel.startswith(entry) or ("/" + entry) in ("/" + rel):
+                        skip = True
+                        break
+                elif rel == entry or rel.endswith("/" + entry):
+                    skip = True
+                    break
+            if not skip:
+                yield full, rel
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Sequence[Rule],
+    config: Optional[LintConfig] = None,
+) -> List[FileReport]:
+    """Lint every Python file under ``paths``; one report per file."""
+    if config is None:
+        config = default_config()
+    reports: List[FileReport] = []
+    for full, rel in iter_python_files(paths, exclude=config.exclude):
+        try:
+            with open(full, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            report = FileReport(path=full)
+            report.parse_error = f"{full}: unreadable: {exc}"
+            reports.append(report)
+            continue
+        reports.append(
+            lint_source(source, full, rules, relpath=rel, config=config)
+        )
+    return reports
+
+
+def collect_diagnostics(reports: Iterable[FileReport]) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for report in reports:
+        out.extend(report.diagnostics)
+    return out

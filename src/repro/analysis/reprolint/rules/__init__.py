@@ -1,0 +1,29 @@
+"""Rule registry: every shipped reprolint rule, in code order."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.reprolint.engine import Rule
+from repro.analysis.reprolint.rules.costs import Cost01RawCycleLiteral
+from repro.analysis.reprolint.rules.determinism import (
+    Det01UnseededRandomness,
+    Det02WallClock,
+    Det03SetIterationOrder,
+)
+from repro.analysis.reprolint.rules.durability import Dur01NonAtomicWrite
+from repro.analysis.reprolint.rules.parallel import Par01WorkerSharedState
+
+ALL_RULE_CLASSES = (
+    Det01UnseededRandomness,
+    Det02WallClock,
+    Det03SetIterationOrder,
+    Cost01RawCycleLiteral,
+    Par01WorkerSharedState,
+    Dur01NonAtomicWrite,
+)
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every shipped rule."""
+    return [cls() for cls in ALL_RULE_CLASSES]

@@ -1,0 +1,104 @@
+"""DUR01 — durable writes missing the fsync-before-atomic-rename dance.
+
+The durability subsystem's crash-consistency proof (50-trial campaign,
+all EXACT) rests on exactly two sanctioned write protocols:
+
+1. **atomic replace** — write to a temp name, ``flush`` + ``os.fsync``,
+   then ``os.replace`` into the final name (checkpoint payloads and
+   manifests);
+2. **append-only log** — open in append mode and cross explicit
+   ``sync()`` barriers at commit points (the WAL).
+
+Anything else — a truncating ``open(path, "w")`` straight onto a final
+name, or a rename with no fsync before it — leaves a window where a
+crash tears durable state in ways recovery was never designed to see.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.analysis.reprolint.diagnostics import Diagnostic
+from repro.analysis.reprolint.engine import Rule
+from repro.analysis.reprolint.rules._util import call_name
+
+_FSYNC_CALLS = ("os.fsync", "os.fdatasync", "fsync", "fdatasync")
+_RENAME_CALLS = ("os.replace", "os.rename", "replace", "rename")
+
+
+def _open_write_mode(node: ast.Call) -> Optional[str]:
+    """The mode string of an ``open`` call that truncates/creates."""
+    if call_name(node) not in ("open", "io.open"):
+        return None
+    mode: Optional[ast.expr] = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return None  # default "r"
+    if not (isinstance(mode, ast.Constant) and isinstance(mode.value, str)):
+        return None  # dynamic mode: out of static reach
+    value = mode.value
+    if "w" in value or "x" in value:
+        return value
+    return None  # read or append-only: sanctioned protocols
+
+
+class Dur01NonAtomicWrite(Rule):
+    """DUR01 — a durable write outside the sanctioned crash-safe protocols.
+
+    **Failing pattern**, in ``durability/``: a function that opens a
+    file with a truncating mode (``"w"``/``"wb"``/``"x"``) without also
+    performing *both* halves of the atomic-replace protocol in the same
+    function — an ``os.fsync``/``os.fdatasync`` call and an
+    ``os.replace``/``os.rename`` call; or a rename executed in a
+    function containing no fsync at all.  Append-mode opens are exempt
+    (the WAL's append-plus-sync protocol).
+
+    **Contract**: a crash at any instruction must leave either the old
+    complete file or the new complete file (checkpoints), or a
+    CRC-detectable torn tail (WAL) — the invariant the recovery
+    campaign proves EXACT.
+
+    **Escape hatch**: ``# reprolint: disable=DUR01 -- <why>``; the
+    in-tree uses are the chaos harness's *deliberate* torn writes.
+    """
+
+    code = "DUR01"
+    name = "non-atomic-durable-write"
+
+    def check(self, tree, path, source) -> Iterator[Diagnostic]:
+        for func in ast.walk(tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            opens: List[ast.Call] = []
+            renames: List[ast.Call] = []
+            has_fsync = False
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = call_name(node)
+                if name in _FSYNC_CALLS:
+                    has_fsync = True
+                elif name in _RENAME_CALLS:
+                    renames.append(node)
+                elif _open_write_mode(node) is not None:
+                    opens.append(node)
+            for node in opens:
+                if not (has_fsync and renames):
+                    yield self.diagnostic(
+                        path, node,
+                        f"truncating write in '{func.name}' without the "
+                        f"fsync-before-atomic-rename protocol; write to a "
+                        f"temp name, os.fsync, then os.replace",
+                    )
+            if renames and not has_fsync:
+                for node in renames:
+                    yield self.diagnostic(
+                        path, node,
+                        f"rename in '{func.name}' with no fsync before it: "
+                        f"a crash can publish an unsynced (torn) file",
+                    )

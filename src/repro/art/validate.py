@@ -23,7 +23,7 @@ independently of the tree's own bookkeeping:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from repro.art.nodes import InnerNode, Leaf, Node4, Node16, Node48, Node256
 from repro.art.tree import AdaptiveRadixTree

@@ -23,6 +23,10 @@ Commands:
 * ``bench`` — measure simulator speed (sim-ops/s, wall seconds, peak
   RSS per engine); ``--record`` appends to ``BENCH_speed.json``,
   ``--check`` fails on a >20 % regression vs the best prior entry.
+* ``lint`` — run reprolint, the AST-based determinism & invariant
+  analyzer (rules DET01–03, COST01, PAR01, DUR01; see
+  docs/STATIC_ANALYSIS.md), over ``src/repro`` or the given paths.
+  Exits 1 on findings, 2 on unparseable files.
 
 Every subcommand exits non-zero when its validation oracle fails: a
 broken tree after ``run``/``checkpoint``, a non-graceful or invalid
@@ -44,6 +48,8 @@ Examples:
     python -m repro recover --campaign 50 --seed 1
     python -m repro sweep --engines ART DCART --seeds 1 2 --jobs 4
     python -m repro bench --quick --check --record
+    python -m repro lint
+    python -m repro lint src/repro/core --json -
 """
 
 from __future__ import annotations
@@ -216,6 +222,21 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=1, metavar="N",
                        help="time each engine N times and keep the fastest "
                             "(best-of-N; use >=3 on noisy/shared machines)")
+
+    lint = sub.add_parser(
+        "lint", help="reprolint: AST determinism & invariant analyzer"
+    )
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files/directories to scan (default: the "
+                           "installed repro package source)")
+    lint.add_argument("--pyproject", default=None, metavar="FILE",
+                      help="pyproject.toml with [tool.reprolint] overrides "
+                           "(default: auto-detect at the repo root)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print every rule code and one-line summary")
+    lint.add_argument("--json", nargs="?", const="-", default=None,
+                      metavar="PATH",
+                      help="emit findings as JSON (to PATH, or stdout)")
     return parser
 
 
@@ -563,6 +584,29 @@ def _cmd_bench(args) -> int:
     return status
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import reprolint
+
+    paths = args.paths
+    package_root = os.path.dirname(os.path.abspath(__file__))
+    if not paths:
+        paths = [package_root]
+    pyproject = args.pyproject
+    if pyproject is None:
+        # src/repro -> src -> repo root
+        candidate = os.path.join(
+            os.path.dirname(os.path.dirname(package_root)), "pyproject.toml"
+        )
+        if os.path.isfile(candidate):
+            pyproject = candidate
+    return reprolint.main(
+        paths,
+        pyproject=pyproject,
+        json_out=args.json,
+        list_rules=args.list_rules,
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.log_level is not None:
@@ -589,6 +633,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

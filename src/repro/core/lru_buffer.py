@@ -9,7 +9,7 @@ occupancy and evicts least-recently-used entries until a new one fits.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Hashable, Optional
+from typing import Hashable
 
 from repro.errors import ConfigError
 

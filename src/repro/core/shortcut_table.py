@@ -18,8 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.core.lru_buffer import LruBuffer
 from repro.core.config import SHORTCUT_ENTRY_BYTES
+from repro.core.lru_buffer import LruBuffer
 
 
 @dataclass(slots=True)

@@ -27,10 +27,10 @@ import math
 from collections import Counter
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
-from typing import List, Optional
+from typing import Any, Iterable, List, Optional
 
 from repro.art.nodes import Leaf
-from repro.art.stats import CACHE_LINE_BYTES
+from repro.art.stats import CACHE_LINE_BYTES, TraversalRecord
 from repro.art.tree import AdaptiveRadixTree
 from repro.core.config import SHORTCUT_ENTRY_BYTES
 from repro.core.dispatcher import DispatchedBucket
@@ -39,7 +39,7 @@ from repro.core.tree_buffer import ValueAwareTreeBuffer
 from repro.engines.base import apply_operation
 from repro.errors import ConfigError
 from repro.model.costs import FpgaCosts
-from repro.workloads.ops import OpKind
+from repro.workloads.ops import Operation, OpKind
 
 #: Steady-state initiation interval of the 4-stage pipeline (cycles/op).
 PIPELINE_II = 2
@@ -90,11 +90,11 @@ class ShortcutOperatingUnit:
         sou_id: int,
         tree: AdaptiveRadixTree,
         shortcuts: Optional[ShortcutTable],
-        tree_buffer,
+        tree_buffer: Any,
         costs: FpgaCosts,
         shared_depth_bytes: int,
-        injector=None,
-    ):
+        injector: Any = None,
+    ) -> None:
         self.sou_id = sou_id
         self.tree = tree
         self.shortcuts = shortcuts
@@ -528,13 +528,13 @@ class ShortcutOperatingUnit:
             self.injector.note_corrupted_hit(retry_cycles)
         return retry_cycles
 
-    def _invalidate_dead_nodes(self, record) -> None:
+    def _invalidate_dead_nodes(self, record: TraversalRecord) -> None:
         """Evict buffer entries whose addresses died in this mutation."""
         for touch in record.touches:
             if self.tree.node_at(touch.address) is None:
                 self.tree_buffer.invalidate(touch.address)
 
-    def _modifies_shared_ancestor(self, record) -> bool:
+    def _modifies_shared_ancestor(self, record: TraversalRecord) -> bool:
         """Did the op modify (or lock) a node shared across buckets?
 
         A node whose subtree begins at a key-byte depth at or above the
@@ -549,7 +549,7 @@ class ShortcutOperatingUnit:
         return modifies_shared_ancestor(record, self.shared_depth_bytes)
 
 
-def count_contended_groups(operations) -> int:
+def count_contended_groups(operations: Iterable[Operation]) -> int:
     """Coalesced same-key groups (>=2 ops, >=1 write) in one bucket.
 
     Under the CTT model each such group serialises behind a *single*
@@ -568,7 +568,9 @@ def count_contended_groups(operations) -> int:
     return sum(1 for key, count in counts.items() if count > 1 and key in writers)
 
 
-def modifies_shared_ancestor(record, shared_depth_bytes: int) -> bool:
+def modifies_shared_ancestor(
+    record: TraversalRecord, shared_depth_bytes: int
+) -> bool:
     """Shared-ancestor test used by both DCART and DCART-C (see above).
 
     The target of a split/grow may be a *newly created* node absent from

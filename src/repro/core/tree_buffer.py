@@ -27,7 +27,7 @@ power of two, hence exact in binary floating point.
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError
 
@@ -47,14 +47,14 @@ class ValueAwareTreeBuffer:
     one bucket share the same value estimate.
     """
 
-    def __init__(self, capacity_bytes: int):
+    def __init__(self, capacity_bytes: int) -> None:
         if capacity_bytes <= 0:
             raise ConfigError(f"capacity must be positive: {capacity_bytes}")
         self.capacity_bytes = capacity_bytes
         # addr -> (normalised value, seq, size); heap of (norm, seq, addr),
         # lazy.  Effective value of an entry = norm * _mult.
         self._resident: Dict[int, Tuple[float, int, int]] = {}
-        self._heap: list = []
+        self._heap: List[Tuple[float, int, int]] = []
         self._seq = 0
         #: Cumulative decay multiplier (product of all decay factors).
         self._mult = 1.0
@@ -239,7 +239,7 @@ class ValueAwareTreeBuffer:
         self.used_bytes -= entry[2]
         return True
 
-    def resident_addresses(self) -> list:
+    def resident_addresses(self) -> List[int]:
         """Addresses currently cached (fault-injection storm targets)."""
         return list(self._resident.keys())
 
@@ -295,7 +295,7 @@ class LruTreeBuffer:
     flush the hot subtree — exactly the thrashing §III-E argues against.
     """
 
-    def __init__(self, capacity_bytes: int):
+    def __init__(self, capacity_bytes: int) -> None:
         from repro.core.lru_buffer import LruBuffer
 
         self._lru = LruBuffer(capacity_bytes)
@@ -335,7 +335,7 @@ class LruTreeBuffer:
     def invalidate(self, address: int) -> bool:
         return self._lru.remove(address)
 
-    def resident_addresses(self) -> list:
+    def resident_addresses(self) -> List[int]:
         """Addresses currently cached (fault-injection storm targets)."""
         return self._lru.keys()
 

@@ -200,7 +200,7 @@ def write_checkpoint(
     if crash == CRASH_PAYLOAD:
         keep = max(1, int(len(payload) * crash_fraction))
         tmp = os.path.join(directory, payload_name + TMP_SUFFIX)
-        with open(tmp, "wb") as handle:
+        with open(tmp, "wb") as handle:  # reprolint: disable=DUR01 -- deliberate torn write: chaos crash point CRASH_PAYLOAD simulates dying mid-payload; the temp name is never renamed into place
             handle.write(payload[:keep])
         raise SimulatedCrash(
             f"crash mid-checkpoint payload ({stem})",
@@ -225,7 +225,7 @@ def write_checkpoint(
 
     if crash == CRASH_MANIFEST:
         keep = max(1, int(len(manifest_bytes) * crash_fraction))
-        with open(manifest_path, "wb") as handle:
+        with open(manifest_path, "wb") as handle:  # reprolint: disable=DUR01 -- deliberate torn write: chaos crash point CRASH_MANIFEST plants a torn manifest at the final name, the hostile-filesystem case recovery must survive
             handle.write(manifest_bytes[:keep])
         raise SimulatedCrash(
             f"crash mid-checkpoint manifest ({stem})",

@@ -30,7 +30,6 @@ from typing import Dict, List, Optional
 from repro.art.tree import AdaptiveRadixTree
 from repro.art.validate import ValidationReport, validate_tree
 from repro.durability.checkpoint import (
-    CheckpointInfo,
     list_checkpoints,
     load_checkpoint,
     restore_tree,

@@ -11,6 +11,7 @@ Fig. 2(d).
 from __future__ import annotations
 
 from repro.engines.cpu_common import CpuOperationCentricEngine
+from repro.model.costs import ENGINE_CONTENTION_PENALTY_NS
 
 
 class ArtRowexEngine(CpuOperationCentricEngine):
@@ -21,4 +22,4 @@ class ArtRowexEngine(CpuOperationCentricEngine):
     path_cache_levels = 0
     # Lock convoys: a queued writer sleeps/wakes through the lock word
     # (futex round trip + line ping-pong), the costliest waiting scheme.
-    contention_penalty_ns = 400.0
+    contention_penalty_ns = ENGINE_CONTENTION_PENALTY_NS["ART"]

@@ -68,7 +68,7 @@ class CpuOperationCentricEngine(Engine):
     #: Per-waiter queueing penalty (ns).  Lock convoys (ROWEX) cost far
     #: more per waiter than optimistic CAS retry loops, which is the
     #: main reason ART trails Heart/SMART in the paper's Figs. 2 and 9.
-    contention_penalty_ns: float = None  # None = the CpuCosts default
+    contention_penalty_ns: Optional[float] = None  # None = the CpuCosts default
     #: Optimistic readers (OLC) re-traverse on conflict instead of
     #: waiting; when set, every conflicted reader re-pays the average
     #: traversal once.

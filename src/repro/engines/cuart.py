@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.art.stats import CACHE_LINE_BYTES, lines_for
+from repro.art.stats import CACHE_LINE_BYTES
 from repro.art.tree import AdaptiveRadixTree
 from repro.engines.base import Engine, RunResult, TimeBreakdown
 from repro.memsim.cache import SetAssociativeCache

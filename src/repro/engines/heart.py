@@ -11,6 +11,7 @@ the problem, matching its position in Figs. 2 and 7–9.
 from __future__ import annotations
 
 from repro.engines.cpu_common import CpuOperationCentricEngine
+from repro.model.costs import ENGINE_CONTENTION_PENALTY_NS
 
 
 class HeartEngine(CpuOperationCentricEngine):
@@ -21,4 +22,4 @@ class HeartEngine(CpuOperationCentricEngine):
     path_cache_levels = 0
     # CAS retry loops: cheaper per waiter than lock convoys, but each
     # retry still pays the RAM-resident-line round trip.
-    contention_penalty_ns = 220.0
+    contention_penalty_ns = ENGINE_CONTENTION_PENALTY_NS["Heart"]

@@ -21,6 +21,7 @@ original paper positions it.
 from __future__ import annotations
 
 from repro.engines.cpu_common import CpuOperationCentricEngine
+from repro.model.costs import ENGINE_CONTENTION_PENALTY_NS
 
 
 class OlcEngine(CpuOperationCentricEngine):
@@ -31,6 +32,6 @@ class OlcEngine(CpuOperationCentricEngine):
     path_cache_levels = 0
     # Version checks keep waiters out of the lock word: cheaper queueing
     # than ROWEX convoys, costlier than SMART's delegation.
-    contention_penalty_ns = 250.0
+    contention_penalty_ns = ENGINE_CONTENTION_PENALTY_NS["OLC"]
     #: Conflicted readers re-traverse instead of waiting on a lock.
     reader_restart = True

@@ -20,6 +20,7 @@ attacks.
 from __future__ import annotations
 
 from repro.engines.cpu_common import CpuOperationCentricEngine
+from repro.model.costs import ENGINE_CONTENTION_PENALTY_NS
 
 
 class SmartEngine(CpuOperationCentricEngine):
@@ -32,4 +33,4 @@ class SmartEngine(CpuOperationCentricEngine):
     path_cache_tag_bytes = 2
     # SMART's combined read-delegation keeps retry loops short: a waiter
     # mostly re-reads a locally cached line before re-issuing the CAS.
-    contention_penalty_ns = 90.0
+    contention_penalty_ns = ENGINE_CONTENTION_PENALTY_NS["SMART"]

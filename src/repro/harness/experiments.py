@@ -17,8 +17,8 @@ import functools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.config import DCARTConfig
 from repro.core.accelerator import DcartAccelerator
+from repro.core.config import DCARTConfig
 from repro.engines.base import RunResult
 from repro.harness.comparison import band, energy_savings, speedups
 from repro.harness.formatting import format_table

@@ -17,11 +17,11 @@ the bits away from recent accesses.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.errors import ConfigError
-from repro.memsim.cacheline import DEFAULT_LINE_BYTES, lines_spanned
+from repro.memsim.cacheline import DEFAULT_LINE_BYTES
 
 
 @dataclass

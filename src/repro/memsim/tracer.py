@@ -16,7 +16,7 @@ Fenwick tree: O(log n) per access.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.errors import ConfigError
 

@@ -19,12 +19,13 @@ Sources of each number:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Dict
 
 from repro.errors import ConfigError
 
 
-def _positive(**kwargs) -> None:
+def _positive(**kwargs: float) -> None:
     for name, value in kwargs.items():
         if value <= 0:
             raise ConfigError(f"{name} must be positive, got {value}")
@@ -46,7 +47,7 @@ class CpuCosts:
     llc_bytes: int = 64 * 1024 * 1024   # modelled shared-LLC slice for the index
     dram_bandwidth_gb_s: float = 200.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _positive(
             n_threads=self.n_threads,
             window=self.window,
@@ -80,7 +81,7 @@ class GpuCosts:
     hbm_bandwidth_gb_s: float = 1550.0
     divergence_factor: float = 1.35     # warp lockstep: pay the longest lane
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _positive(
             n_sms=self.n_sms,
             warp_width=self.warp_width,
@@ -120,7 +121,7 @@ class FpgaCosts:
     redispatch_cycles: int = 6
     shortcut_retry_base_cycles: int = 4
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _positive(
             clock_hz=self.clock_hz,
             shortcut_lookup_cycles=self.shortcut_lookup_cycles,
@@ -150,7 +151,7 @@ class SoftwareCttCosts:
     shortcut_maintain_ns: float = 300.0 # allocate + link + write back an entry
     dispatch_ns: float = 20.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _positive(
             combine_ns=self.combine_ns,
             shortcut_lookup_ns=self.shortcut_lookup_ns,
@@ -175,7 +176,7 @@ class DurabilityCosts:
     fsync_latency_us: float = 15.0       # write-cache flush per sync point
     checkpoint_bandwidth_gb_s: float = 1.8
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _positive(
             wal_bandwidth_gb_s=self.wal_bandwidth_gb_s,
             fsync_latency_us=self.fsync_latency_us,
@@ -214,13 +215,27 @@ class PowerModel:
     gpu_watts: float = 165.0
     fpga_watts: float = 42.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _positive(
             cpu_watts=self.cpu_watts,
             gpu_watts=self.gpu_watts,
             fpga_watts=self.fpga_watts,
         )
 
+
+#: Per-engine contention penalty for the CPU baselines (ns per queued
+#: waiter).  One table, here, so every billed latency in the tree traces
+#: to this module (the COST01 contract): ROWEX lock convoys pay a futex
+#: round trip + line ping-pong; Heart's CAS retries pay the
+#: RAM-resident-line round trip [21]; OLC's version checks queue more
+#: cheaply than convoys; SMART's read delegation keeps retries on a
+#: locally cached line.  Ordering calibrated to Fig. 7.
+ENGINE_CONTENTION_PENALTY_NS: Dict[str, float] = {
+    "ART": 400.0,
+    "Heart": 220.0,
+    "OLC": 250.0,
+    "SMART": 90.0,
+}
 
 DEFAULT_CPU_COSTS = CpuCosts()
 DEFAULT_DURABILITY_COSTS = DurabilityCosts()

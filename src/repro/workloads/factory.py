@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.errors import WorkloadError
 from repro.workloads import realworld, synthetic
-from repro.workloads.mixes import DEFAULT_MIX, MIXES, OperationMix, mix_for_write_ratio
+from repro.workloads.mixes import DEFAULT_MIX, OperationMix, mix_for_write_ratio
 from repro.workloads.ops import OpKind, Operation, OperationStream, Workload
 
 WORKLOAD_NAMES = ("IPGEO", "DICT", "EA", "DE", "RS", "RD")

@@ -27,7 +27,7 @@ from typing import List
 
 import numpy as np
 
-from repro.art.keys import encode_ipv4, encode_str
+from repro.art.keys import encode_str
 from repro.errors import WorkloadError
 from repro.workloads.zipf import ZipfSampler
 

@@ -1,0 +1,16 @@
+"""COST01 bad fixture: raw cycle/latency literals outside model/costs.py."""
+
+
+def bill_fetch(outcome):
+    outcome.cycles += 28
+    return outcome
+
+
+def contention():
+    penalty_ns = 380.0
+    return penalty_ns
+
+
+def stall(outcome):
+    outcome.latency = 12
+    return outcome

@@ -1,0 +1,18 @@
+"""COST01 good fixture: billing flows through the calibrated cost model."""
+
+from repro.model.costs import DEFAULT_FPGA_COSTS
+
+
+def bill_fetch(outcome, costs=DEFAULT_FPGA_COSTS):
+    outcome.cycles += costs.tree_offchip_cycles
+    return outcome
+
+
+def reset(outcome):
+    outcome.cycles = 0  # zero is not a calibrated constant
+    return outcome
+
+
+def to_us(latency_ns):
+    scale_ns = 1000.0  # pure unit conversion, not a cost
+    return latency_ns / scale_ns

@@ -1,0 +1,29 @@
+"""DET01 bad fixture: global-RNG use in a simulated path.
+
+Never imported by tests — only parsed by reprolint.
+"""
+
+import random
+
+from random import randint
+
+
+def jitter():
+    return random.random()
+
+
+def shuffle_ops(ops):
+    random.shuffle(ops)
+    return ops
+
+
+def pick():
+    return randint(0, 7)
+
+
+def make_generator():
+    import numpy as np
+
+    unseeded = np.random.rand(4)
+    rng = np.random.default_rng()
+    return unseeded, rng

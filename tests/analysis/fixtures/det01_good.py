@@ -1,0 +1,15 @@
+"""DET01 good fixture: every draw flows from an explicitly seeded generator."""
+
+from random import Random
+
+
+def jitter(seed):
+    rng = Random(seed)
+    return rng.random()
+
+
+def make_generator(seed):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 7, size=4)

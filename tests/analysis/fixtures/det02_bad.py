@@ -1,0 +1,17 @@
+"""DET02 bad fixture: wall-clock reads leaking into a simulated quantity."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp():
+    return time.time()
+
+
+def elapsed(start):
+    return perf_counter() - start
+
+
+def label():
+    return datetime.now().isoformat()

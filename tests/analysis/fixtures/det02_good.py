@@ -1,0 +1,12 @@
+"""DET02 good fixture: simulated time is cycle accounting, never the host clock."""
+
+from datetime import datetime
+
+
+def simulated_seconds(cycles, costs):
+    return cycles * costs.cycle_seconds
+
+
+def parse_stamp(text):
+    # Parsing a recorded timestamp is fine; *reading* the clock is not.
+    return datetime.fromisoformat(text)

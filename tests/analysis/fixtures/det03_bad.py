@@ -1,0 +1,18 @@
+"""DET03 bad fixture: set iteration order reaching ordered consumers."""
+
+
+def visit_order(addresses):
+    for address in set(addresses):
+        yield address
+
+
+def materialise(items):
+    return list({item for item in items})
+
+
+def serialise(names):
+    return ",".join(set(names))
+
+
+def expand(groups):
+    return [g * 2 for g in frozenset(groups)]

@@ -1,0 +1,18 @@
+"""DET03 good fixture: sets consumed through sorted() or order-free folds."""
+
+
+def visit_order(addresses):
+    for address in sorted(set(addresses)):
+        yield address
+
+
+def materialise(items):
+    return sorted({item for item in items})
+
+
+def total(values):
+    return sum(set(values))
+
+
+def distinct(names):
+    return len(set(names))

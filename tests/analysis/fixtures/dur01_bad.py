@@ -1,0 +1,12 @@
+"""DUR01 bad fixture: durable writes with no fsync-before-rename protocol."""
+
+import os
+
+
+def save(path, payload):
+    with open(path, "wb") as handle:
+        handle.write(payload)
+
+
+def publish(tmp, path):
+    os.replace(tmp, path)

@@ -1,0 +1,17 @@
+"""DUR01 good fixture: the full temp-write + fsync + atomic-rename protocol."""
+
+import os
+
+
+def save(path, payload):
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def append_record(path, record):
+    with open(path, "ab") as handle:  # append-only WAL: not a truncation
+        handle.write(record)

@@ -1,0 +1,11 @@
+"""PAR01 bad fixture: worker code mutating module-level shared state."""
+
+RESULTS = []
+TOTALS = {}
+
+
+def run_cell(cell):
+    global RESULTS
+    RESULTS.append(cell)
+    TOTALS["count"] = len(RESULTS)
+    return cell

@@ -1,0 +1,8 @@
+"""PAR01 good fixture: workers touch only their arguments and locals."""
+
+
+def run_cell(cell):
+    results = []
+    results.append(cell)
+    totals = {"count": len(results)}
+    return results, totals

@@ -1,0 +1,11 @@
+"""Pragma fixture: malformed disables are themselves LINT00 findings."""
+
+import time
+
+
+def bare_disable():
+    return time.time()  # reprolint: disable=DET02
+
+
+def unknown_code():
+    return time.time()  # reprolint: disable=NOPE99 -- the justification cannot save an unknown code

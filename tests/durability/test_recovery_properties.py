@@ -8,7 +8,6 @@ batch.  The reference is computed independently of the scanner, from the
 recorded commit-end offsets.
 """
 
-import os
 import struct
 import tempfile
 

@@ -1,0 +1,50 @@
+"""Regression: engine contention penalties flow from the central table.
+
+COST01 centralised the per-engine queueing penalties into
+``ENGINE_CONTENTION_PENALTY_NS`` (model/costs.py).  These tests pin the
+calibrated values and the plumbing, so the refactor can never silently
+change an engine's billed contention — Fig. 7's engine ordering depends
+on it.
+"""
+
+import pytest
+
+from repro.engines.art_rowex import ArtRowexEngine
+from repro.engines.cpu_common import CpuOperationCentricEngine
+from repro.engines.heart import HeartEngine
+from repro.engines.olc import OlcEngine
+from repro.engines.smart import SmartEngine
+from repro.model.costs import DEFAULT_CPU_COSTS, ENGINE_CONTENTION_PENALTY_NS
+
+ENGINES = {
+    "ART": ArtRowexEngine,
+    "Heart": HeartEngine,
+    "OLC": OlcEngine,
+    "SMART": SmartEngine,
+}
+
+
+def test_table_covers_exactly_the_cpu_engines():
+    assert set(ENGINE_CONTENTION_PENALTY_NS) == set(ENGINES)
+
+
+@pytest.mark.parametrize("name", sorted(ENGINES))
+def test_engine_bills_the_central_penalty(name):
+    engine = ENGINES[name]()
+    assert engine.costs.contention_penalty_ns == \
+        ENGINE_CONTENTION_PENALTY_NS[name]
+
+
+def test_calibrated_ordering_matches_fig7():
+    """Lock convoys > OLC restarts > Heart CAS > SMART read delegation."""
+    table = ENGINE_CONTENTION_PENALTY_NS
+    assert table["ART"] > table["OLC"] > table["Heart"] > table["SMART"]
+    assert all(value > 0 for value in table.values())
+
+
+def test_base_class_defaults_to_cpu_costs():
+    """contention_penalty_ns=None (the base default) keeps CpuCosts."""
+    assert CpuOperationCentricEngine.contention_penalty_ns is None
+    engine = CpuOperationCentricEngine()
+    assert engine.costs.contention_penalty_ns == \
+        DEFAULT_CPU_COSTS.contention_penalty_ns
