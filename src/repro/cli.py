@@ -20,6 +20,11 @@ Commands:
 * ``sweep`` — run an (engine × workload × seed) grid, fanned over
   ``--jobs N`` worker processes with deterministic, ordered output
   (``--jobs 1`` and ``--jobs N`` are bit-identical).
+* ``trace`` — run DCART once with the BatchTracer attached and write a
+  Chrome/Perfetto ``trace_event`` JSON timeline (PCU / per-SOU / sync /
+  HBM / durability spans per batch) plus a terminal summary table.
+* ``stats`` — run one engine with a MetricsRegistry attached and
+  pretty-print every counter/gauge (``--json`` for machine output).
 * ``bench`` — measure simulator speed (sim-ops/s, wall seconds, peak
   RSS per engine); ``--record`` appends to ``BENCH_speed.json``,
   ``--check`` fails on a >20 % regression vs the best prior entry.
@@ -47,6 +52,9 @@ Examples:
     python -m repro recover --dir /tmp/dcart-state --json
     python -m repro recover --campaign 50 --seed 1
     python -m repro sweep --engines ART DCART --seeds 1 2 --jobs 4
+    python -m repro trace IPGEO --keys 2000 --ops 20000 --out trace.json
+    python -m repro stats --engine DCART --workload RS
+    python -m repro run --engine DCART --metrics metrics.json
     python -m repro bench --quick --check --record
     python -m repro lint
     python -m repro lint src/repro/core --json -
@@ -117,6 +125,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--replay", metavar="FILE", default=None,
                      help="replay a saved workload instead of generating")
     run.add_argument("--json", action="store_true", help="emit JSON")
+    run.add_argument("--metrics", default=None, metavar="PATH",
+                     help="attach a MetricsRegistry and write it as JSON "
+                          "to PATH ('-' for stdout)")
 
     workload = sub.add_parser("workload", help="generate + save a workload")
     workload.add_argument("--name", choices=WORKLOAD_NAMES, required=True)
@@ -199,6 +210,38 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--json", nargs="?", const="-", default=None,
                        metavar="PATH",
                        help="emit full per-cell results as JSON")
+    sweep.add_argument("--metrics", default=None, metavar="PATH",
+                       help="collect a per-cell MetricsRegistry and write "
+                            "all of them as JSON to PATH ('-' for stdout)")
+
+    trace = sub.add_parser(
+        "trace", help="run DCART and write a Chrome trace_event timeline"
+    )
+    trace.add_argument("workload", nargs="?", choices=WORKLOAD_NAMES,
+                       default="IPGEO")
+    trace.add_argument("--keys", type=int, default=10_000)
+    trace.add_argument("--ops", type=int, default=100_000)
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument("--out", default="trace.json", metavar="PATH",
+                       help="trace file (default: trace.json); load it at "
+                            "chrome://tracing or ui.perfetto.dev")
+    trace.add_argument("--metrics", default=None, metavar="PATH",
+                       help="also write the MetricsRegistry as JSON")
+    trace.add_argument("--no-stamp", action="store_true",
+                       help="omit the wall-clock exported_at metadata "
+                            "(bit-identical output across runs)")
+
+    stats = sub.add_parser(
+        "stats", help="run one engine and print its metrics registry"
+    )
+    stats.add_argument("--engine", choices=ENGINE_NAMES, default="DCART")
+    stats.add_argument("--workload", choices=WORKLOAD_NAMES, default="IPGEO")
+    stats.add_argument("--keys", type=int, default=10_000)
+    stats.add_argument("--ops", type=int, default=100_000)
+    stats.add_argument("--seed", type=int, default=1)
+    stats.add_argument("--json", nargs="?", const="-", default=None,
+                       metavar="PATH",
+                       help="emit the registry as JSON (to PATH, or stdout)")
 
     bench = sub.add_parser(
         "bench", help="measure simulator speed; record/check BENCH_speed.json"
@@ -295,9 +338,15 @@ def _cmd_run(args) -> int:
     from repro.art.validate import validate_tree
 
     engine = default_engines(n_keys, include=[args.engine])[0]
+    if args.metrics is not None:
+        from repro.obs import Telemetry
+
+        engine.telemetry = Telemetry()
     tree = engine.build_tree(workload)
     result = engine.run(workload, tree=tree)
     validation = validate_tree(tree)
+    if args.metrics is not None:
+        _emit_json(engine.telemetry.registry.as_dict(), args.metrics)
     if args.json:
         import json
 
@@ -539,8 +588,17 @@ def _cmd_sweep(args) -> int:
         n_ops=args.ops,
         write_ratio=args.write_ratio,
         op_skew=args.op_skew,
+        collect_metrics=args.metrics is not None,
     )
     results = run_cells(cells, jobs=args.jobs)
+    if args.metrics is not None:
+        _emit_json(
+            [
+                {"cell": doc["cell"], "metrics": doc.get("metrics")}
+                for doc in results
+            ],
+            args.metrics,
+        )
     if args.json is not None:
         _emit_json({"jobs": args.jobs, "results": results}, args.json)
     else:
@@ -549,6 +607,54 @@ def _cmd_sweep(args) -> int:
         widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
         for row in rows:
             print("  ".join(col.ljust(w) for col, w in zip(row, widths)))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.art.validate import validate_tree
+    from repro.obs import Telemetry
+
+    workload = make_workload(
+        args.workload, n_keys=args.keys, n_ops=args.ops, seed=args.seed
+    )
+    engine = default_engines(args.keys, include=["DCART"])[0]
+    telemetry = Telemetry.with_tracer()
+    engine.telemetry = telemetry
+    tree = engine.build_tree(workload)
+    result = engine.run(workload, tree=tree)
+    validation = validate_tree(tree)
+    n_events = telemetry.tracer.write(args.out, stamp=not args.no_stamp)
+    print(workload.summary())
+    print(result.summary())
+    print(telemetry.tracer.summary_table())
+    print(f"wrote {n_events} trace events to {args.out}")
+    if args.metrics is not None:
+        _emit_json(telemetry.registry.as_dict(), args.metrics)
+    if not validation.ok:
+        print(f"tree validation FAILED: {validation.summary()}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.obs import Telemetry
+
+    workload = make_workload(
+        args.workload, n_keys=args.keys, n_ops=args.ops, seed=args.seed
+    )
+    engine = default_engines(args.keys, include=[args.engine])[0]
+    engine.telemetry = Telemetry()
+    result = engine.run(workload)
+    registry = engine.telemetry.registry
+    if args.json is not None:
+        _emit_json(registry.as_dict(), args.json)
+    else:
+        print(workload.summary())
+        print(result.summary())
+        if len(registry) == 0:
+            print(f"(engine {args.engine} reports no metrics)")
+        else:
+            print(registry.render())
     return 0
 
 
@@ -631,6 +737,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_recover(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "lint":

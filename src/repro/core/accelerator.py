@@ -42,7 +42,10 @@ from repro.core.sou import BucketOutcome, ShortcutOperatingUnit
 from repro.core.tree_buffer import LruTreeBuffer, ValueAwareTreeBuffer
 from repro.durability.manager import accelerator_state as durability_accel_state
 from repro.engines.base import Engine, RunResult, TimeBreakdown
+from repro.model.costs import DEFAULT_FPGA_COSTS
 from repro.model.platform import FPGA_PLATFORM, Platform
+from repro.obs.metrics import MetricsRegistry, extra_view
+from repro.obs.trace import BatchSample
 from repro.workloads.ops import Operation, Workload
 
 #: Keys sampled from the loaded set for prefix calibration.
@@ -50,16 +53,31 @@ CALIBRATION_SAMPLE = 4096
 
 
 def hbm_bandwidth_cycles(
-    offchip_bytes: int, hbm_gb_s: float, clock_hz: float
+    offchip_bytes: int,
+    hbm_gb_s: float,
+    clock_hz: float,
+    blackout_cycles_per_line: Optional[int] = None,
 ) -> int:
     """Cycles the batch's off-chip traffic occupies the HBM channel.
 
     Ceil, not floor: a batch consuming any fraction of an HBM cycle
     still holds the channel for that whole cycle, so even one off-chip
     byte bills at least one cycle.
+
+    ``hbm_gb_s <= 0`` models a full channel blackout (a chaos
+    ``bandwidth_factor()`` of 0): instead of dividing by zero, every
+    off-chip cache line stalls for ``blackout_cycles_per_line`` —
+    ``FpgaCosts.hbm_blackout_cycles_per_line`` when not given.
     """
     if offchip_bytes <= 0:
         return 0
+    if hbm_gb_s <= 0.0:
+        if blackout_cycles_per_line is None:
+            blackout_cycles_per_line = (
+                DEFAULT_FPGA_COSTS.hbm_blackout_cycles_per_line
+            )
+        lines = math.ceil(offchip_bytes / CACHE_LINE_BYTES)
+        return lines * blackout_cycles_per_line
     return math.ceil(offchip_bytes / (hbm_gb_s * 1e9) * clock_hz)
 
 
@@ -74,12 +92,20 @@ class DcartAccelerator(Engine):
         config: Optional[DCARTConfig] = None,
         injector=None,
         durability=None,
+        telemetry=None,
     ):
         super().__init__(platform)
         self.config = config if config is not None else DCARTConfig()
         #: Optional :class:`~repro.faults.FaultInjector` (chaos harness);
         #: ``None`` models the perfect machine.
         self.injector = injector
+        #: Optional :class:`~repro.obs.Telemetry`: a MetricsRegistry the
+        #: hardware units report into at end of run, and optionally a
+        #: BatchTracer recording one span sample per batch.  ``None`` (the
+        #: default) costs one pointer test per batch; results are
+        #: bit-identical either way because ``result.extra`` is always
+        #: derived through a registry.
+        self.telemetry = telemetry
         #: Optional :class:`~repro.durability.DurabilityManager`: when
         #: set, every combined batch is WAL-logged *before* SOU dispatch
         #: (write-ahead), the tree + accelerator state checkpoint every N
@@ -117,6 +143,8 @@ class DcartAccelerator(Engine):
         injector = self.injector
         if injector is not None:
             injector.reset()
+        telemetry = self.telemetry
+        tracer = telemetry.tracer if telemetry is not None else None
         durability = self.durability
         durability_cycles_total = 0
         if durability is not None:
@@ -209,10 +237,12 @@ class DcartAccelerator(Engine):
                 )
             hbm_gb_s = costs.hbm_bandwidth_gb_s
             if injector is not None:
-                # A throttle window narrows the effective HBM bandwidth.
+                # A throttle window narrows the effective HBM bandwidth
+                # (factor 0 = blackout, priced per line below).
                 hbm_gb_s *= injector.bandwidth_factor()
             bandwidth_cycles = hbm_bandwidth_cycles(
-                offchip_bytes, hbm_gb_s, costs.clock_hz
+                offchip_bytes, hbm_gb_s, costs.clock_hz,
+                blackout_cycles_per_line=costs.hbm_blackout_cycles_per_line,
             )
             offchip_lines_total += batch_offchip_lines
             # Failover re-dispatch: the Dispatcher re-targets each of a
@@ -236,13 +266,48 @@ class DcartAccelerator(Engine):
                 + batch_durability_cycles
             )
             sou_cycles.append(batch_cycles)
+            if tracer is not None:
+                tracer.record_batch(BatchSample(
+                    batch_index=batch_index,
+                    n_ops=len(batch),
+                    pcu_cycles=pcu_cycles[-1],
+                    per_sou_cycles=dict(per_sou),
+                    compute_cycles=compute_cycles,
+                    bandwidth_cycles=bandwidth_cycles,
+                    sync_cycles=batch_sync_cycles,
+                    redispatch_cycles=redispatch_cycles,
+                    durability_cycles=batch_durability_cycles,
+                ))
             if injector is not None:
                 injector.end_batch(batch_index, len(batch), batch_cycles, per_sou)
 
         timeline = overlap_timeline(pcu_cycles, sou_cycles, config.enable_overlap)
         elapsed = timeline.total_cycles * costs.cycle_seconds
+        if tracer is not None:
+            tracer.finalize(
+                timeline,
+                clock_hz=costs.clock_hz,
+                overlap=config.enable_overlap,
+                has_durability=durability is not None,
+            )
 
-        self._aggregate(result, batch_outcomes, pcu_cycles, costs)
+        # Latency of an op = waiting for its batch's SOUs to start, plus
+        # its completion offset within its SOU's queue.  With the
+        # overlap, batch i's SOUs start ``starts[i] - starts[i-1]``
+        # cycles after batch i begins combining (at starts[i-1], in the
+        # shadow of batch i-1's SOU work) — that difference is
+        # ``max(prev batch cycles, own combine)``, i.e. queueing behind
+        # earlier batches, which ``pcu_cycles[i]`` alone missed.
+        # Serially, combining starts only when the previous batch fully
+        # drains, so the wait is just the batch's own combine time.
+        if config.enable_overlap and timeline.batch_start_cycles:
+            starts = timeline.batch_start_cycles
+            batch_waits = [starts[0]]
+            for i in range(1, len(starts)):
+                batch_waits.append(starts[i] - starts[i - 1])
+        else:
+            batch_waits = list(pcu_cycles)
+        self._aggregate(result, batch_outcomes, batch_waits, costs)
         result.cache_hit_rate = tree_buffer.hit_rate
         result.elapsed_seconds = elapsed
         result.lock_contentions = contentions
@@ -258,30 +323,43 @@ class DcartAccelerator(Engine):
             sync_seconds=min(sync_seconds, elapsed),
             other_seconds=min(unhidden_pcu, max(0.0, elapsed - sync_seconds)),
         )
-        result.extra.update(
-            {
-                "prefix_byte_offset": extractor.byte_offset,
-                "tree_buffer_hit_rate": tree_buffer.hit_rate,
-                "shortcut_buffer_hit_rate": (
-                    shortcuts.buffer_hit_rate if shortcuts else 0.0
-                ),
-                "shortcut_entries": len(shortcuts) if shortcuts else 0,
-                "stale_shortcuts": (shortcuts.stale_hits if shortcuts else 0),
-                "hidden_pcu_cycles": timeline.hidden_cycles,
-                "overlap_efficiency": timeline.overlap_efficiency,
-                "total_cycles": timeline.total_cycles,
-                "offchip_lines": offchip_lines_total,
-                "global_sync_ops": global_sync_ops,
-                "spilled_bytes": tables.spilled_bytes,
-            }
+        # Every unit reports into a registry — the attached one when
+        # telemetry is on, a throwaway otherwise, so the derived
+        # ``result.extra`` view is bit-identical in both cases.
+        registry = (
+            telemetry.registry if telemetry is not None else MetricsRegistry()
         )
+        pcu.report_metrics(registry)
+        dispatcher.report_metrics(registry)
+        for sou in sous:
+            sou.report_metrics(registry)
+        if shortcuts is not None:
+            shortcuts.report_metrics(registry)
+        else:
+            # Shortcut ablation: the view's keys must still exist.
+            registry.gauge("shortcut_table.entries", 0)
+            registry.gauge("shortcut_table.buffer_hit_rate", 0.0)
+            registry.counter("shortcut_table.stale_hits", 0)
+        tree_buffer.report_metrics(registry)
+        registry.gauge("run.prefix_byte_offset", extractor.byte_offset)
+        registry.counter("run.batches", len(sou_cycles))
+        registry.counter("run.total_cycles", timeline.total_cycles)
+        registry.counter("run.hidden_pcu_cycles", timeline.hidden_cycles)
+        registry.gauge("run.overlap_efficiency", timeline.overlap_efficiency)
+        registry.counter("run.contentions", contentions)
+        registry.counter("hbm.offchip_lines", offchip_lines_total)
+        registry.counter("sync.global_ops", global_sync_ops)
+        registry.counter("sync.cycles", sync_cycles_total)
+        registry.counter("dispatcher.redispatch_cycles", redispatch_cycles_total)
+        if durability is not None:
+            durability.report_metrics(registry)
+            registry.counter("durability.cycles", durability_cycles_total)
+
+        result.extra.update(extra_view(registry))
         if injector is not None:
             result.extra.update(injector.snapshot())
             result.extra["failover_buckets"] = dispatcher.failovers
             result.extra["redispatch_cycles"] = redispatch_cycles_total
-            result.extra["stale_shortcut_repairs"] = sum(
-                o.stale_shortcuts for os in batch_outcomes for o in os
-            )
         if durability is not None:
             result.extra.update(durability.snapshot())
             result.extra["durability_cycles"] = durability_cycles_total
@@ -342,26 +420,24 @@ class DcartAccelerator(Engine):
         self,
         result: RunResult,
         batch_outcomes: List[List[BucketOutcome]],
-        pcu_cycles: List[int],
+        batch_waits: List[int],
         costs,
     ) -> None:
         id_chunks: List[np.ndarray] = []
         cycle_chunks: List[np.ndarray] = []
         matches = visited = fetched = used = 0
-        shortcut_hits = shortcut_misses = traversals = 0
         counts = result.node_access_counts
         for batch_index, outcomes in enumerate(batch_outcomes):
-            # Latency of an op = waiting for its batch to be combined,
-            # plus its completion offset within its SOU's queue.
-            start = pcu_cycles[batch_index]
+            # Latency of an op = waiting for its batch's SOUs to start
+            # (combine time plus queueing behind earlier batches, per
+            # Timeline.batch_start_cycles — see run()), plus its
+            # completion offset within its SOU's queue.
+            start = batch_waits[batch_index]
             for outcome in outcomes:
                 matches += outcome.partial_key_matches
                 visited += outcome.nodes_visited
                 fetched += outcome.bytes_fetched
                 used += outcome.bytes_used
-                shortcut_hits += outcome.shortcut_hits
-                shortcut_misses += outcome.shortcut_misses
-                traversals += outcome.traversals
                 # One counting pass over the raw visit list per bucket;
                 # the distinct-node set falls out as the Counter's keys.
                 counts.update(outcome.visited_ids)
@@ -378,9 +454,6 @@ class DcartAccelerator(Engine):
         result.distinct_nodes_visited = len(counts)
         result.bytes_fetched = fetched
         result.bytes_used = used
-        result.extra["shortcut_hits"] = shortcut_hits
-        result.extra["shortcut_misses"] = shortcut_misses
-        result.extra["traversals"] = traversals
         if id_chunks:
             # op_ids are unique across the run, so a stable argsort on
             # them reproduces exactly the old (op_id, latency) tuple

@@ -121,6 +121,13 @@ class Dispatcher:
         self.dispatched_buckets += len(out)
         return out
 
+    def report_metrics(self, registry) -> None:
+        """Write the Dispatcher's run totals into a MetricsRegistry."""
+        registry.counter("dispatcher.dispatched_buckets", self.dispatched_buckets)
+        registry.counter("dispatcher.failover_buckets", self.failovers)
+        registry.gauge("dispatcher.failed_sous", len(self.failed))
+        registry.gauge("dispatcher.alive_sous", self.n_alive)
+
     def per_sou_load(self, dispatched: List[DispatchedBucket]) -> List[int]:
         """Operations assigned to each SOU (load-balance diagnostics)."""
         load = [0] * self.n_sous

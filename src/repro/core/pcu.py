@@ -59,3 +59,9 @@ class PrefixCombiningUnit:
         self.total_cycles += cycles
         self.total_ops += len(operations)
         return PcuBatchOutcome(n_ops=len(operations), cycles=cycles, spilled_bytes=spilled)
+
+    def report_metrics(self, registry) -> None:
+        """Write the PCU's run totals into a MetricsRegistry."""
+        registry.counter("pcu.total_cycles", self.total_cycles)
+        registry.counter("pcu.total_ops", self.total_ops)
+        registry.counter("pcu.spilled_bytes", self.tables.spilled_bytes)

@@ -84,14 +84,19 @@ def analytic_cycles(stage_cycles: Sequence[Sequence[int]], ii: int) -> int:
 
     For an interlocked pipeline, throughput is limited by each op's
     slowest stage (its effective initiation interval); the fill of the
-    first op adds the remaining stages once.
+    first op adds the remaining stages once.  The fill term is clamped
+    at zero: when the initiation interval already exceeds the first
+    op's total stage occupancy, the fill is fully covered by the II
+    slot and must not *subtract* cycles from the throughput term.
     """
     if not stage_cycles:
         return 0
     total = 0
     for cycles in stage_cycles:
         total += max(ii, max(cycles))
-    # Pipeline fill: the first op's other stages.
+    # Pipeline fill: the first op's other stages, never negative.
     first = stage_cycles[0]
-    total += sum(first) - max(ii, max(first))
+    fill = sum(first) - max(ii, max(first))
+    if fill > 0:
+        total += fill
     return total

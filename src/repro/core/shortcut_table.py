@@ -113,3 +113,15 @@ class ShortcutTable:
     @property
     def buffer_hit_rate(self) -> float:
         return self.buffer.hit_rate
+
+    def report_metrics(self, registry) -> None:
+        """Write the table's run totals into a MetricsRegistry."""
+        registry.counter("shortcut_table.generated", self.generated)
+        registry.counter("shortcut_table.updated", self.updated)
+        registry.counter("shortcut_table.stale_hits", self.stale_hits)
+        registry.counter("shortcut_table.corrupted", self.corrupted)
+        registry.gauge("shortcut_table.entries", len(self._entries))
+        registry.counter("shortcut_table.buffer_hits", self.buffer.hits)
+        registry.counter("shortcut_table.buffer_misses", self.buffer.misses)
+        registry.counter("shortcut_table.buffer_evictions", self.buffer.evictions)
+        registry.gauge("shortcut_table.buffer_hit_rate", self.buffer.hit_rate)

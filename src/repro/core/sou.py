@@ -27,7 +27,7 @@ import math
 from collections import Counter
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
-from typing import Any, Iterable, List, Optional
+from typing import TYPE_CHECKING, Any, Iterable, List, Optional
 
 from repro.art.nodes import Leaf
 from repro.art.stats import CACHE_LINE_BYTES, TraversalRecord
@@ -40,6 +40,9 @@ from repro.engines.base import apply_operation
 from repro.errors import ConfigError
 from repro.model.costs import FpgaCosts
 from repro.workloads.ops import Operation, OpKind
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
 
 #: Steady-state initiation interval of the 4-stage pipeline (cycles/op).
 PIPELINE_II = 2
@@ -106,6 +109,24 @@ class ShortcutOperatingUnit:
         #: Optional :class:`~repro.faults.FaultInjector`: supplies the
         #: slow-down multiplier and accounts corrupted-shortcut retries.
         self.injector = injector
+        # Cumulative run totals for the metrics registry.  Updated once
+        # per *bucket* (from the hot loop's locals), never per op, so
+        # telemetry costs nothing on the inner path.
+        self.buckets_processed = 0
+        self.ops_processed = 0
+        self.busy_cycles = 0
+        self.shortcut_hits_total = 0
+        self.shortcut_misses_total = 0
+        self.shortcut_buffer_hits_total = 0
+        self.shortcut_buffer_misses_total = 0
+        self.stale_shortcuts_total = 0
+        self.corrupted_hits_total = 0
+        self.traversals_total = 0
+        self.nodes_visited_total = 0
+        self.offchip_lines_total = 0
+        self.structure_mods_total = 0
+        self.shortcuts_generated_total = 0
+        self.sync_ops_total = 0
         # Stall constants, hoisted out of the per-op loop: the throughput
         # cost of an off-chip access is its latency divided by the
         # outstanding-request depth (latency hiding), rounded up.
@@ -194,6 +215,8 @@ class ShortcutOperatingUnit:
         traversals = 0
         sc_buf_hits = 0
         sc_buf_misses = 0
+        structure_mods = 0
+        shortcuts_generated = 0
 
         for op in ops:
             stall_cycles = 0
@@ -471,6 +494,7 @@ class ShortcutOperatingUnit:
 
                 if record.structure_modified:
                     stall_cycles += structure_cycles
+                    structure_mods += 1
                     self._invalidate_dead_nodes(record)
                     if modifies_shared_ancestor(
                         record, self.shared_depth_bytes
@@ -486,6 +510,7 @@ class ShortcutOperatingUnit:
                         shortcuts.generate(
                             key, record.target_address, record.parent_address
                         )
+                        shortcuts_generated += 1
                     elif record_outcome == "deleted":
                         shortcuts.drop(key)
 
@@ -514,7 +539,94 @@ class ShortcutOperatingUnit:
         outcome.stale_shortcuts = stale_shortcuts
         outcome.traversals = traversals
         outcome.visited_ids = visited_ids
+        # Cumulative totals for report_metrics: one batched update per
+        # bucket, off the per-op path.
+        self.buckets_processed += 1
+        self.ops_processed += outcome.n_ops
+        self.busy_cycles += clock
+        self.shortcut_hits_total += shortcut_hits
+        self.shortcut_misses_total += shortcut_misses
+        self.shortcut_buffer_hits_total += sc_buf_hits
+        self.shortcut_buffer_misses_total += sc_buf_misses
+        self.stale_shortcuts_total += stale_shortcuts
+        self.corrupted_hits_total += outcome.corrupted_shortcut_hits
+        self.traversals_total += traversals
+        self.nodes_visited_total += outcome.nodes_visited
+        self.offchip_lines_total += offchip_lines
+        self.structure_mods_total += structure_mods
+        self.shortcuts_generated_total += shortcuts_generated
+        self.sync_ops_total += len(sync_targets)
         return outcome
+
+    def report_metrics(self, registry: "MetricsRegistry") -> None:
+        """Write this unit's run totals into a MetricsRegistry.
+
+        Per-unit counters are namespaced ``sou.<id>.*`` with one group
+        per pipeline stage (Fig. 5 right); the unqualified ``sou.*``
+        counters accumulate across units (each unit adds its share) and
+        back the legacy ``result.extra`` view.
+        """
+        sid = self.sou_id
+        counter = registry.counter
+        counter(f"sou.{sid}.buckets", self.buckets_processed)
+        counter(f"sou.{sid}.ops", self.ops_processed)
+        counter(f"sou.{sid}.busy_cycles", self.busy_cycles)
+        # Stage 1: Index_Shortcut (Shortcut_buffer probe + table lookup).
+        counter(
+            f"sou.{sid}.stage.index_shortcut.hits", self.shortcut_hits_total
+        )
+        counter(
+            f"sou.{sid}.stage.index_shortcut.misses",
+            self.shortcut_misses_total,
+        )
+        counter(
+            f"sou.{sid}.stage.index_shortcut.buffer_hits",
+            self.shortcut_buffer_hits_total,
+        )
+        counter(
+            f"sou.{sid}.stage.index_shortcut.buffer_misses",
+            self.shortcut_buffer_misses_total,
+        )
+        counter(
+            f"sou.{sid}.stage.index_shortcut.stale", self.stale_shortcuts_total
+        )
+        counter(
+            f"sou.{sid}.stage.index_shortcut.corrupted_hits",
+            self.corrupted_hits_total,
+        )
+        # Stage 2: Traverse_Tree.
+        counter(
+            f"sou.{sid}.stage.traverse_tree.traversals", self.traversals_total
+        )
+        counter(
+            f"sou.{sid}.stage.traverse_tree.nodes_visited",
+            self.nodes_visited_total,
+        )
+        counter(
+            f"sou.{sid}.stage.traverse_tree.offchip_lines",
+            self.offchip_lines_total,
+        )
+        # Stage 3: Trigger_Operation.
+        counter(f"sou.{sid}.stage.trigger_operation.ops", self.ops_processed)
+        counter(
+            f"sou.{sid}.stage.trigger_operation.structure_mods",
+            self.structure_mods_total,
+        )
+        counter(
+            f"sou.{sid}.stage.trigger_operation.global_sync_ops",
+            self.sync_ops_total,
+        )
+        # Stage 4: Generate_Shortcut.
+        counter(
+            f"sou.{sid}.stage.generate_shortcut.generated",
+            self.shortcuts_generated_total,
+        )
+        # Cross-unit aggregates (the extra view reads these).
+        counter("sou.shortcut_hits", self.shortcut_hits_total)
+        counter("sou.shortcut_misses", self.shortcut_misses_total)
+        counter("sou.traversals", self.traversals_total)
+        counter("sou.stale_shortcut_repairs", self.stale_shortcuts_total)
+        counter("sou.busy_cycles", self.busy_cycles)
 
     def _corrupted_retry(self, outcome: BucketOutcome) -> int:
         """Bill the bounded retry-with-backoff on a corrupted entry."""

@@ -27,9 +27,12 @@ power of two, hence exact in binary floating point.
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
 
 #: Renormalisation threshold: when the cumulative decay multiplier
 #: drops below this, it is folded into the stored values (exactly, for
@@ -285,6 +288,17 @@ class ValueAwareTreeBuffer:
             return 0.0
         return self.hits / total
 
+    def report_metrics(self, registry: MetricsRegistry) -> None:
+        """Write the buffer's run totals into a MetricsRegistry."""
+        registry.counter("tree_buffer.hits", self.hits)
+        registry.counter("tree_buffer.misses", self.misses)
+        registry.counter("tree_buffer.evictions", self.evictions)
+        registry.counter("tree_buffer.rejected_inserts", self.rejected_inserts)
+        registry.gauge("tree_buffer.resident_nodes", len(self._resident))
+        registry.gauge("tree_buffer.used_bytes", self.used_bytes)
+        registry.gauge("tree_buffer.capacity_bytes", self.capacity_bytes)
+        registry.gauge("tree_buffer.hit_rate", self.hit_rate)
+
 
 class LruTreeBuffer:
     """LRU node cache with the same interface as the value-aware buffer.
@@ -354,3 +368,19 @@ class LruTreeBuffer:
     @property
     def hit_rate(self) -> float:
         return self._lru.hit_rate
+
+    def report_metrics(self, registry: MetricsRegistry) -> None:
+        """Write the buffer's run totals into a MetricsRegistry.
+
+        Same metric names as the value-aware buffer so the registry
+        shape is ablation-invariant; LRU has no value admission, so
+        ``rejected_inserts`` is always 0 here.
+        """
+        registry.counter("tree_buffer.hits", self.hits)
+        registry.counter("tree_buffer.misses", self.misses)
+        registry.counter("tree_buffer.evictions", self.evictions)
+        registry.counter("tree_buffer.rejected_inserts", 0)
+        registry.gauge("tree_buffer.resident_nodes", len(self._lru))
+        registry.gauge("tree_buffer.used_bytes", self._lru.used_bytes)
+        registry.gauge("tree_buffer.capacity_bytes", self.capacity_bytes)
+        registry.gauge("tree_buffer.hit_rate", self.hit_rate)

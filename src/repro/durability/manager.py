@@ -239,6 +239,19 @@ class DurabilityManager:
             "checkpoint_seconds": self.checkpoint_seconds,
         }
 
+    def report_metrics(self, registry) -> None:
+        """Mirror :meth:`snapshot` into a MetricsRegistry (``durability.*``).
+
+        Integer totals become counters, modelled seconds become gauges —
+        the same values ``RunResult.extra`` carries, under stable names.
+        """
+        for key, value in self.snapshot().items():
+            name = f"durability.{key}"
+            if isinstance(value, float):
+                registry.gauge(name, value)
+            else:
+                registry.counter(name, value)
+
 
 def accelerator_state(shortcuts, tables) -> Dict:
     """Snapshot the warm accelerator state worth checkpointing.

@@ -166,6 +166,10 @@ class Engine(abc.ABC):
 
     def __init__(self, platform: Platform):
         self.platform = platform
+        #: Optional :class:`~repro.obs.Telemetry` a run reports into.
+        #: ``None`` (the default) disables telemetry; attaching one never
+        #: changes the :class:`RunResult` — it only fills the registry.
+        self.telemetry = None
 
     def build_tree(self, workload: Workload) -> AdaptiveRadixTree:
         """Bulk-load the workload's key set (untimed, as in the paper)."""

@@ -218,6 +218,12 @@ class CpuOperationCentricEngine(Engine):
         result.cache_hit_rate = llc.stats.hit_rate
 
         self._price_run(result, priced, dram_lines, locks, cas)
+        if self.telemetry is not None:
+            registry = self.telemetry.registry
+            llc.report_metrics(registry, prefix="llc")
+            registry.counter("engine.dram_lines", dram_lines)
+            registry.counter("engine.lock_contentions", result.lock_contentions)
+            registry.counter("engine.lock_acquisitions", result.lock_acquisitions)
         return result
 
     # ------------------------------------------------------------------

@@ -104,15 +104,20 @@ class BufferStorm:
 
 @dataclass(frozen=True)
 class HbmThrottle:
-    """HBM bandwidth multiplied by ``factor`` on batches [start, end]."""
+    """HBM bandwidth multiplied by ``factor`` on batches [start, end].
+
+    ``factor == 0.0`` is a full channel blackout: the accelerator prices
+    off-chip traffic at ``FpgaCosts.hbm_blackout_cycles_per_line``
+    instead of dividing by the (zero) effective bandwidth.
+    """
 
     start_batch: int
     end_batch: int
     factor: float
 
     def __post_init__(self):
-        if not 0.0 < self.factor <= 1.0:
-            raise ConfigError(f"throttle factor must be in (0, 1]: {self.factor}")
+        if not 0.0 <= self.factor <= 1.0:
+            raise ConfigError(f"throttle factor must be in [0, 1]: {self.factor}")
         if self.end_batch < self.start_batch:
             raise ConfigError(
                 f"throttle window inverted: [{self.start_batch}, {self.end_batch}]"
@@ -218,7 +223,12 @@ class FaultSchedule:
         return factor
 
     def bandwidth_factor(self, batch: int) -> float:
-        """Combined HBM bandwidth multiplier during ``batch``."""
+        """Combined HBM bandwidth multiplier during ``batch``.
+
+        May legitimately reach 0.0 (full blackout); the accelerator
+        prices that as a per-line stall rather than a division, so no
+        epsilon clamp is applied here.
+        """
         factor = 1.0
         for event in self.events:
             if (
@@ -226,7 +236,7 @@ class FaultSchedule:
                 and event.start_batch <= batch <= event.end_batch
             ):
                 factor *= event.factor
-        return max(factor, 1e-6)
+        return factor
 
     # ------------------------------------------------------------------
 

@@ -44,6 +44,11 @@ class SweepCell:
     n_ops: int = 100_000
     write_ratio: Optional[float] = None
     op_skew: Optional[float] = None
+    #: Attach a telemetry registry to the run and return its contents
+    #: under ``doc["metrics"]``.  Deterministic for any ``jobs`` count:
+    #: the registry is filled from the run's own counters, never from
+    #: scheduling state.
+    collect_metrics: bool = False
 
     def label(self) -> str:
         return f"{self.engine}/{self.workload}/seed={self.seed}"
@@ -57,6 +62,7 @@ def expand_grid(
     n_ops: int = 100_000,
     write_ratio: Optional[float] = None,
     op_skew: Optional[float] = None,
+    collect_metrics: bool = False,
 ) -> List[SweepCell]:
     """The full cross product, in (engine, workload, seed) order."""
     for name in workloads:
@@ -71,6 +77,7 @@ def expand_grid(
             n_ops=n_ops,
             write_ratio=write_ratio,
             op_skew=op_skew,
+            collect_metrics=collect_metrics,
         )
         for engine in engines
         for workload in workloads
@@ -96,8 +103,14 @@ def run_cell(cell: SweepCell) -> Dict[str, object]:
         op_skew=cell.op_skew,
     )
     engine = default_engines(cell.n_keys, include=[cell.engine])[0]
+    if cell.collect_metrics:
+        from repro.obs import Telemetry
+
+        engine.telemetry = Telemetry()
     result = engine.run(workload)
     doc = result_to_full_dict(result)
+    if cell.collect_metrics:
+        doc["metrics"] = engine.telemetry.registry.as_dict()
     doc["cell"] = {
         "engine": cell.engine,
         "workload": cell.workload,

@@ -198,6 +198,18 @@ class SetAssociativeCache:
         self.stats.misses += misses
         return hits, misses
 
+    def report_metrics(self, registry, prefix: str = "cache") -> None:
+        """Write the cache's run totals into a MetricsRegistry.
+
+        ``prefix`` namespaces the counters (the CPU engines report their
+        modelled LLC as ``llc.*``).
+        """
+        registry.counter(f"{prefix}.hits", self.stats.hits)
+        registry.counter(f"{prefix}.misses", self.stats.misses)
+        registry.counter(f"{prefix}.evictions", self.stats.evictions)
+        registry.gauge(f"{prefix}.hit_rate", self.stats.hit_rate)
+        registry.gauge(f"{prefix}.capacity_bytes", self.capacity_bytes)
+
     def contains(self, address: int) -> bool:
         """Check residency of the line holding ``address`` without touching it."""
         line = address // self.line_bytes

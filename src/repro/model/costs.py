@@ -120,6 +120,12 @@ class FpgaCosts:
     # bucket, and the backoff base of a corrupted-shortcut retry.
     redispatch_cycles: int = 6
     shortcut_retry_base_cycles: int = 4
+    #: Stall per off-chip cache line while the HBM channel is fully
+    #: blacked out (chaos ``bandwidth_factor() == 0``): traffic waits on
+    #: the channel's retry/arbitration interval instead of streaming, so
+    #: each line bills a fixed stall rather than dividing by zero
+    #: bandwidth.  ~2.2 us per line at 230 MHz.
+    hbm_blackout_cycles_per_line: int = 512
 
     def __post_init__(self) -> None:
         _positive(
@@ -129,6 +135,7 @@ class FpgaCosts:
             tree_offchip_cycles=self.tree_offchip_cycles,
             trigger_cycles=self.trigger_cycles,
             memory_parallelism=self.memory_parallelism,
+            hbm_blackout_cycles_per_line=self.hbm_blackout_cycles_per_line,
         )
 
     @property

@@ -1,0 +1,21 @@
+"""Observability: metrics registry, batch tracer, telemetry holder."""
+
+from repro.obs.metrics import (
+    EXTRA_VIEW,
+    Histogram,
+    MetricsRegistry,
+    extra_view,
+)
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import BatchSample, BatchTracer, Span
+
+__all__ = [
+    "EXTRA_VIEW",
+    "BatchSample",
+    "BatchTracer",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Telemetry",
+    "extra_view",
+]

@@ -1,0 +1,29 @@
+"""The Telemetry holder an engine run reports into.
+
+Attach one to any :class:`~repro.engines.base.Engine` (``engine.telemetry
+= Telemetry()``) before calling ``run``; the engine fills the registry
+and, when a tracer is present, records per-batch spans.  Attaching
+telemetry never changes a :class:`~repro.engines.base.RunResult` — the
+DCART accelerator builds an internal registry either way to derive
+``result.extra``, so on/off runs are bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import BatchTracer
+
+
+@dataclass
+class Telemetry:
+    """What a run reports into: a registry, and optionally a tracer."""
+
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    tracer: Optional[BatchTracer] = None
+
+    @classmethod
+    def with_tracer(cls) -> "Telemetry":
+        return cls(registry=MetricsRegistry(), tracer=BatchTracer())

@@ -176,3 +176,35 @@ class TestDurableRun:
         assert recovery.ok
         assert dict(recovery.tree.items()) == dict(tree.items())
         assert validate_tree(tree).ok
+
+
+class TestHbmBandwidthCycles:
+    def test_zero_bytes_is_free(self):
+        from repro.core.accelerator import hbm_bandwidth_cycles
+
+        assert hbm_bandwidth_cycles(0, 0.0, 230e6) == 0
+        assert hbm_bandwidth_cycles(0, 460.0, 230e6) == 0
+
+    def test_zero_bandwidth_is_a_priced_stall_not_a_crash(self):
+        from repro.core.accelerator import hbm_bandwidth_cycles
+        from repro.model.costs import DEFAULT_FPGA_COSTS
+
+        per_line = DEFAULT_FPGA_COSTS.hbm_blackout_cycles_per_line
+        # Two cache lines of traffic during a full blackout.
+        assert hbm_bandwidth_cycles(128, 0.0, 230e6) == 2 * per_line
+        # Partial lines round up, exactly like the healthy path.
+        assert hbm_bandwidth_cycles(65, 0.0, 230e6) == 2 * per_line
+
+    def test_explicit_blackout_cost_overrides_default(self):
+        from repro.core.accelerator import hbm_bandwidth_cycles
+
+        assert hbm_bandwidth_cycles(
+            64, 0.0, 230e6, blackout_cycles_per_line=7
+        ) == 7
+
+    def test_blackout_slower_than_any_real_bandwidth(self):
+        from repro.core.accelerator import hbm_bandwidth_cycles
+
+        throttled = hbm_bandwidth_cycles(4096, 0.5, 230e6)
+        blackout = hbm_bandwidth_cycles(4096, 0.0, 230e6)
+        assert blackout > throttled

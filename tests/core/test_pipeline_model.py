@@ -95,6 +95,68 @@ def test_analytic_model_brackets_detailed_model(profile):
     assert approx <= exact + overshoot_slack
 
 
+class TestFillClamp:
+    """Regressions for the negative-fill bug (II > first-op occupancy)."""
+
+    def test_large_ii_does_not_subtract_fill(self):
+        # Pre-fix: total = 3*10 + (4 - 10) = 24, i.e. the fill term
+        # *subtracted* cycles.  The clamped model charges full II slots.
+        assert analytic_cycles([[1, 1, 1, 1]] * 3, ii=10) == 30
+
+    def test_single_op_huge_ii(self):
+        assert analytic_cycles([[1, 1, 1, 1]], ii=100) == 100
+
+    def test_never_below_throughput_core(self):
+        for ii in (1, 2, 5, 9, 33):
+            ops = [[1, 2, 1, 1], [3, 1, 1, 1]]
+            core = sum(max(ii, max(op)) for op in ops)
+            assert analytic_cycles(ops, ii=ii) >= core
+
+    def test_positive_fill_still_charged(self):
+        # II below the first op's occupancy: fill term survives the clamp.
+        ops = [[2, 28, 2, 2]] * 4
+        assert analytic_cycles(ops, ii=2) == 4 * 28 + (34 - 28)
+
+
+ii_values = st.integers(min_value=1, max_value=48)
+
+
+@given(
+    st.lists(st.tuples(stage, stall, stage, stage), min_size=1, max_size=40),
+    ii_values,
+)
+@settings(max_examples=120, deadline=None)
+def test_analytic_model_differential_general_ii(profile, ii):
+    """Differential test vs. the exact pipeline for *any* II — including
+    II far above every per-op stage occupancy, the regime where the
+    unclamped fill used to go negative.
+
+    All bounds below are provable from the model definitions:
+
+    * ``approx >= core`` — the clamp can only add cycles;
+    * ``approx <= core + sum(ops[0])`` — the fill never exceeds the
+      first op's total occupancy;
+    * ``approx >= exact - sum(sum(c) - max(c))`` — the exact pipeline is
+      never slower than serial execution, and the analytic model keeps
+      at least every op's slowest stage;
+    * ``approx - ii_padding <= 4 * exact + sum(ops[0])`` — stripped of
+      the explicit II padding, the model charges at most every stage of
+      every op once, and the exact four-stage pipeline covers total
+      stage work at rate >= 1/4.
+    """
+    ops = [sou_stage_profile(*p) for p in profile]
+    exact = InOrderPipeline(4).total_cycles(ops)
+    approx = analytic_cycles(ops, ii=ii)
+    core = sum(max(ii, max(op)) for op in ops)
+
+    assert approx >= 0
+    assert approx >= core
+    assert approx <= core + sum(ops[0])
+    assert approx >= exact - sum(sum(op) - max(op) for op in ops)
+    ii_padding = sum(max(0, ii - max(op)) for op in ops)
+    assert approx - ii_padding <= 4 * exact + sum(ops[0])
+
+
 @given(st.lists(st.tuples(stage, stall, stage, stage), min_size=1, max_size=40))
 @settings(max_examples=50, deadline=None)
 def test_detailed_pipeline_lower_bounds(profile):

@@ -107,6 +107,19 @@ class TestDegradationBilling:
         )
         assert throttled.elapsed_seconds > healthy.elapsed_seconds
 
+    def test_full_blackout_completes_and_costs_more(self, workload, config):
+        # factor=0.0 used to divide by zero inside the bandwidth model;
+        # now it prices every off-chip line at the blackout stall cost.
+        healthy = DcartAccelerator(config=config).run(workload)
+        blackout, tree = faulted_run(
+            workload, config, [HbmThrottle(0, 100, factor=0.0)]
+        )
+        assert blackout.n_ops == workload.n_ops
+        assert blackout.elapsed_seconds > healthy.elapsed_seconds
+        for key, value in expected_final_state(workload).items():
+            assert tree.search(key) == value
+        assert validate_tree(tree).ok
+
     def test_corruption_bills_retries(self, workload, config):
         result, _ = faulted_run(workload, config, [ShortcutCorruption(1, 300)])
         assert result.extra["corrupted_retry_cycles"] > 0

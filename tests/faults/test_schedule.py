@@ -27,8 +27,11 @@ class TestEventValidation:
             HbmThrottle(3, 1, factor=0.5)
 
     def test_throttle_factor_bounds(self):
+        # factor=0.0 is a legal full blackout (priced by the fault
+        # model's blackout cost, not a divide); out-of-range still fails.
+        assert HbmThrottle(0, 1, factor=0.0).factor == 0.0
         with pytest.raises(ConfigError):
-            HbmThrottle(0, 1, factor=0.0)
+            HbmThrottle(0, 1, factor=-0.1)
         with pytest.raises(ConfigError):
             HbmThrottle(0, 1, factor=1.5)
 

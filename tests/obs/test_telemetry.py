@@ -1,0 +1,130 @@
+"""End-to-end telemetry tests: registry wiring + the no-effect guarantee."""
+
+import pytest
+
+from repro.core import DCARTConfig, DcartAccelerator
+from repro.engines.art_rowex import ArtRowexEngine
+from repro.harness.serialize import result_to_full_dict
+from repro.obs import EXTRA_VIEW, Telemetry
+from repro.workloads import make_workload
+
+N_KEYS = 1_200
+N_OPS = 8_000
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload("IPGEO", n_keys=N_KEYS, n_ops=N_OPS, seed=3)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return DCARTConfig(batch_size=2048)
+
+
+@pytest.fixture(scope="module")
+def telemetry_run(workload, config):
+    telemetry = Telemetry.with_tracer()
+    accel = DcartAccelerator(config=config)
+    accel.telemetry = telemetry
+    result = accel.run(workload)
+    return telemetry, result
+
+
+class TestNoEffectGuarantee:
+    def test_results_bit_identical_with_and_without_telemetry(
+        self, workload, config, telemetry_run
+    ):
+        _, with_telemetry = telemetry_run
+        without = DcartAccelerator(config=config).run(workload)
+        assert result_to_full_dict(without) == result_to_full_dict(with_telemetry)
+
+
+class TestExtraIsAView:
+    def test_every_extra_key_equals_registry_value(self, telemetry_run):
+        telemetry, result = telemetry_run
+        for key, name in EXTRA_VIEW.items():
+            assert result.extra[key] == telemetry.registry.get(name), key
+
+    def test_stale_repairs_present_without_injector(self, telemetry_run):
+        _, result = telemetry_run
+        # Pre-fix this key only appeared on faulted runs; now it is
+        # unconditional and mirrors the shortcut table's stale count.
+        assert "stale_shortcut_repairs" in result.extra
+        assert result.extra["stale_shortcut_repairs"] == (
+            result.extra["stale_shortcuts"]
+        )
+
+
+class TestRegistryContents:
+    def test_every_unit_reports(self, telemetry_run):
+        telemetry, _ = telemetry_run
+        registry = telemetry.registry
+        for name in (
+            "pcu.total_cycles",
+            "pcu.total_ops",
+            "dispatcher.dispatched_buckets",
+            "sou.0.ops",
+            "sou.0.stage.traverse_tree.traversals",
+            "sou.shortcut_hits",
+            "shortcut_table.generated",
+            "tree_buffer.hits",
+            "hbm.offchip_lines",
+            "sync.global_ops",
+            "run.total_cycles",
+        ):
+            assert name in registry, name
+
+    def test_aggregates_sum_per_unit_counters(self, telemetry_run):
+        telemetry, result = telemetry_run
+        registry = telemetry.registry
+        per_unit_ops = sum(
+            registry.get(f"sou.{s}.ops") for s in range(16)
+            if f"sou.{s}.ops" in registry
+        )
+        assert per_unit_ops == result.n_ops
+        assert registry.get("pcu.total_ops") == result.n_ops
+
+    def test_run_counters_match_result(self, telemetry_run):
+        telemetry, result = telemetry_run
+        registry = telemetry.registry
+        assert registry.get("run.total_cycles") == result.extra["total_cycles"]
+        assert registry.get("run.contentions") == result.lock_contentions
+
+
+class TestTracerAgainstRealRun:
+    def test_one_sample_per_batch(self, telemetry_run, workload, config):
+        telemetry, _ = telemetry_run
+        n_batches = -(-workload.n_ops // config.batch_size)
+        assert len(telemetry.tracer.samples) == n_batches
+
+    def test_span_count_formula_holds(self, telemetry_run):
+        telemetry, _ = telemetry_run
+        tracer = telemetry.tracer
+        expected = sum(
+            3 + len(sample.per_sou_cycles)
+            + (1 if sample.redispatch_cycles > 0 else 0)
+            for sample in tracer.samples
+        )
+        assert len(tracer.spans()) == expected
+        assert tracer.expected_span_count() == expected
+
+    def test_trace_covers_full_timeline(self, telemetry_run):
+        telemetry, result = telemetry_run
+        spans = telemetry.tracer.spans()
+        last_end = max(s.start_cycle + s.duration_cycles for s in spans)
+        assert last_end <= result.extra["total_cycles"]
+        assert last_end >= result.extra["total_cycles"] * 0.5
+
+
+class TestCpuEngineTelemetry:
+    def test_llc_metrics_reported(self, workload):
+        engine = ArtRowexEngine()
+        engine.telemetry = Telemetry()
+        result = engine.run(workload)
+        registry = engine.telemetry.registry
+        assert registry.get("llc.hits") > 0
+        assert registry.get("llc.hit_rate") == pytest.approx(
+            result.cache_hit_rate
+        )
+        assert registry.get("engine.dram_lines") == result.extra["dram_lines"]

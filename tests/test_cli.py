@@ -93,9 +93,17 @@ class TestChaosCommand:
         assert main(self.ARGS + ["--fail-sous", "16"]) == 2
         assert "bad chaos scenario" in capsys.readouterr().err
 
-    def test_zero_throttle_rejected(self, capsys):
-        # --throttle outside (0, 1] is a schedule error, not a crash.
-        assert main(self.ARGS + ["--throttle", "0.0"]) == 2
+    def test_zero_throttle_runs_as_blackout(self, capsys):
+        # --throttle 0.0 is a legal full HBM blackout: the run completes
+        # (every off-chip line priced at the blackout cost) instead of
+        # dying on a division by zero.
+        assert main(self.ARGS + ["--throttle", "0.0"]) in (0, 1)
+        out = capsys.readouterr().out
+        assert "validated" in out
+
+    def test_negative_throttle_rejected(self, capsys):
+        # --throttle outside [0, 1] is a schedule error, not a crash.
+        assert main(self.ARGS + ["--throttle", "-0.5"]) == 2
 
     def test_sweep_renders_curve(self, capsys):
         assert main([
@@ -242,6 +250,92 @@ class TestSweepCommand:
             pooled = json.load(handle)
         assert serial["jobs"] == 1 and pooled["jobs"] == 2
         assert serial["results"] == pooled["results"]
+
+
+class TestTraceCommand:
+    ARGS = ["trace", "IPGEO", "--keys", "500", "--ops", "2000"]
+
+    def test_writes_chrome_loadable_json(self, capsys, tmp_path):
+        path = str(tmp_path / "trace.json")
+        assert main(self.ARGS + ["--out", path]) == 0
+        out = capsys.readouterr().out
+        assert "trace events" in out
+        assert "batch timeline" in out
+        with open(path) as handle:
+            doc = json.load(handle)
+        events = doc["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert phases <= {"X", "M"}
+        assert any(e["ph"] == "X" for e in events)
+        # Every complete event carries the trace_event complete schema.
+        for event in events:
+            if event["ph"] == "X":
+                assert {"name", "cat", "ts", "dur", "pid", "tid"} <= set(event)
+
+    def test_no_stamp_is_deterministic(self, capsys, tmp_path):
+        a = str(tmp_path / "a.json")
+        b = str(tmp_path / "b.json")
+        assert main(self.ARGS + ["--out", a, "--no-stamp"]) == 0
+        assert main(self.ARGS + ["--out", b, "--no-stamp"]) == 0
+        capsys.readouterr()
+        with open(a) as ha, open(b) as hb:
+            assert json.load(ha) == json.load(hb)
+
+    def test_metrics_sidecar(self, capsys, tmp_path):
+        trace = str(tmp_path / "trace.json")
+        metrics = str(tmp_path / "metrics.json")
+        assert main(self.ARGS + ["--out", trace, "--metrics", metrics]) == 0
+        with open(metrics) as handle:
+            doc = json.load(handle)
+        assert "pcu.total_cycles" in doc["counters"]
+
+
+class TestStatsCommand:
+    def test_table_output(self, capsys):
+        assert main([
+            "stats", "--workload", "RS", "--keys", "400", "--ops", "1000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pcu.total_cycles" in out
+        assert "counter" in out and "gauge" in out
+
+    def test_json_output(self, capsys):
+        assert main([
+            "stats", "--workload", "RS", "--keys", "400", "--ops", "1000",
+            "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["counters"]["pcu.total_ops"] == 1000
+
+    def test_cpu_engine_stats(self, capsys):
+        assert main([
+            "stats", "--engine", "ART", "--keys", "400", "--ops", "1000",
+            "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["counters"]["llc.hits"] > 0
+
+
+class TestMetricsFlag:
+    def test_run_metrics_to_file(self, capsys, tmp_path):
+        path = str(tmp_path / "metrics.json")
+        assert main([
+            "run", "--engine", "DCART", "--workload", "DE",
+            "--keys", "400", "--ops", "1000", "--metrics", path,
+        ]) == 0
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert doc["counters"]["run.batches"] >= 1
+
+    def test_sweep_metrics_to_file(self, capsys, tmp_path):
+        path = str(tmp_path / "metrics.json")
+        assert main([
+            "sweep", "--engines", "DCART", "--seeds", "1",
+            "--keys", "400", "--ops", "1000", "--metrics", path,
+        ]) == 0
+        with open(path) as handle:
+            docs = json.load(handle)
+        assert all("cell" in doc and doc["metrics"] for doc in docs)
 
 
 class TestBenchCommand:
