@@ -29,6 +29,7 @@ DEFAULT_RULE_SCOPES: Dict[str, Dict[str, List[str]]] = {
         "include": [
             "core/", "art/", "engines/", "workloads/", "faults/",
             "harness/", "durability/", "concurrency/", "memsim/",
+            "serve/",
         ],
         "exclude": [],
     },
@@ -43,13 +44,14 @@ DEFAULT_RULE_SCOPES: Dict[str, Dict[str, List[str]]] = {
         "include": [
             "core/", "art/", "engines/", "workloads/", "faults/",
             "harness/", "durability/", "concurrency/", "memsim/",
+            "serve/",
         ],
         "exclude": [],
     },
     "COST01": {
         "include": [
             "core/", "engines/", "faults/", "durability/", "harness/",
-            "model/",
+            "model/", "serve/",
         ],
         "exclude": ["model/costs.py"],
     },

@@ -20,6 +20,10 @@ Commands:
 * ``sweep`` — run an (engine × workload × seed) grid, fanned over
   ``--jobs N`` worker processes with deterministic, ordered output
   (``--jobs 1`` and ``--jobs N`` are bit-identical).
+* ``serve`` — open-loop serving simulation: seeded arrivals at a
+  fraction of closed-loop capacity, admission control, size-or-deadline
+  batching, and a latency-vs-offered-load sweep with SLO/knee/RTO
+  reporting (``--fault`` fires a chaos event mid-traffic).
 * ``trace`` — run DCART once with the BatchTracer attached and write a
   Chrome/Perfetto ``trace_event`` JSON timeline (PCU / per-SOU / sync /
   HBM / durability spans per batch) plus a terminal summary table.
@@ -52,6 +56,8 @@ Examples:
     python -m repro recover --dir /tmp/dcart-state --json
     python -m repro recover --campaign 50 --seed 1
     python -m repro sweep --engines ART DCART --seeds 1 2 --jobs 4
+    python -m repro serve --load-sweep 0.25 0.5 1.0 --json report.json
+    python -m repro serve --fault crash --admission drop-tail --json -
     python -m repro trace IPGEO --keys 2000 --ops 20000 --out trace.json
     python -m repro stats --engine DCART --workload RS
     python -m repro run --engine DCART --metrics metrics.json
@@ -213,6 +219,45 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--metrics", default=None, metavar="PATH",
                        help="collect a per-cell MetricsRegistry and write "
                             "all of them as JSON to PATH ('-' for stdout)")
+
+    from repro.serve.admission import ADMISSION_NAMES
+    from repro.serve.arrivals import ARRIVAL_NAMES
+
+    serve = sub.add_parser(
+        "serve", help="open-loop serving sweep: arrivals, admission, SLO/RTO"
+    )
+    serve.add_argument("--engine", choices=ENGINE_NAMES, default="DCART")
+    serve.add_argument("--workload", choices=WORKLOAD_NAMES, default="IPGEO")
+    serve.add_argument("--keys", type=int, default=None)
+    serve.add_argument("--ops", type=int, default=None)
+    serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument("--arrival", choices=ARRIVAL_NAMES, default="poisson")
+    serve.add_argument("--admission", choices=ADMISSION_NAMES,
+                       default="drop-tail")
+    serve.add_argument("--load-sweep", nargs="+", type=float, default=None,
+                       metavar="LOAD",
+                       help="offered loads as fractions of closed-loop "
+                            "capacity (default: 0.25 0.5 0.75 1.0 1.5)")
+    serve.add_argument("--batch-size", type=int, default=None,
+                       help="serving batch size (default: 512)")
+    serve.add_argument("--deadline-us", type=float, default=None,
+                       help="batch-forming deadline (default: 100)")
+    serve.add_argument("--queue-capacity", type=int, default=None,
+                       help="ingest queue bound (default: 8192)")
+    serve.add_argument("--slo-us", type=float, default=None,
+                       help="latency SLO (default: derived from the "
+                            "lowest swept load)")
+    serve.add_argument("--fault", choices=("none", "sou-failstop", "crash"),
+                       default="none",
+                       help="fire a chaos event mid-traffic and report RTO")
+    serve.add_argument("--fault-batch", type=int, default=9,
+                       help="serving batch index the fault lands on")
+    serve.add_argument("--dir", default=None, metavar="DIR",
+                       help="durability directory for --fault crash "
+                            "(default: a fresh temp dir)")
+    serve.add_argument("--json", nargs="?", const="-", default=None,
+                       metavar="PATH",
+                       help="emit the serve-sweep/v1 report as JSON")
 
     trace = sub.add_parser(
         "trace", help="run DCART and write a Chrome trace_event timeline"
@@ -610,6 +655,127 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+#: Default offered-load fractions for ``repro serve --load-sweep``.
+SERVE_DEFAULT_LOADS = (0.25, 0.5, 0.75, 1.0, 1.5)
+
+
+def _cmd_serve(args) -> int:
+    import tempfile
+
+    from repro.errors import ConfigError
+    from repro.faults import FaultSchedule
+    from repro.faults.schedule import CrashFault
+    from repro.harness import resilience
+    from repro.serve import ServeConfig, load_sweep
+
+    n_keys = args.keys if args.keys is not None else resilience.DEFAULT_KEYS
+    n_ops = args.ops if args.ops is not None else resilience.DEFAULT_OPS
+    workload = make_workload(
+        args.workload, n_keys=n_keys, n_ops=n_ops, seed=args.seed
+    )
+    accel_config = resilience.chaos_config(n_keys)
+
+    overrides = {
+        "arrival": args.arrival,
+        "admission": args.admission,
+        "slo_us": args.slo_us,
+    }
+    if args.batch_size is not None:
+        overrides["batch_size"] = args.batch_size
+    if args.deadline_us is not None:
+        overrides["deadline_us"] = args.deadline_us
+    if args.queue_capacity is not None:
+        overrides["queue_capacity"] = args.queue_capacity
+    try:
+        serve_config = ServeConfig(**overrides)
+        schedule = None
+        durability_dir = None
+        if args.fault == "sou-failstop":
+            schedule = FaultSchedule.fail_sous(
+                2, args.seed, n_sous=accel_config.n_sous,
+                at_batch=args.fault_batch,
+            )
+        elif args.fault == "crash":
+            schedule = FaultSchedule(
+                seed=args.seed,
+                events=(
+                    CrashFault(
+                        args.fault_batch, "wal-pre-commit", args.seed % 1024
+                    ),
+                ),
+            )
+            durability_dir = (
+                args.dir if args.dir is not None
+                else tempfile.mkdtemp(prefix="dcart-serve-")
+            )
+        loads = (
+            args.load_sweep if args.load_sweep is not None
+            else list(SERVE_DEFAULT_LOADS)
+        )
+        report = load_sweep(
+            workload,
+            serve_config,
+            loads,
+            seed=args.seed,
+            engine=args.engine,
+            accel_config=accel_config,
+            schedule=schedule,
+            durability_dir=durability_dir,
+        )
+    except ConfigError as exc:
+        print(f"bad serving setup: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json is not None:
+        _emit_json(report, args.json)
+    else:
+        knee = (
+            f"knee at {report['knee_load']}x"
+            if report["knee_load"] is not None
+            else "knee below the lowest swept load"
+        )
+        print(
+            f"{args.engine} on {workload.name}: closed-loop capacity "
+            f"{report['capacity_ops_per_s'] / 1e6:.2f} Mops/s, "
+            f"SLO {report['slo_us']:.1f} us, {knee}"
+        )
+        header = (
+            "load", "p50 us", "p99 us", "goodput", "shed", "lost",
+            "peak q", "crashes", "RTO cyc",
+        )
+        rows = [header]
+        for row in report["rows"]:
+            rows.append((
+                f"{row['offered_load']:g}",
+                f"{row['p50_us']:.1f}",
+                f"{row['p99_us']:.1f}",
+                f"{row['goodput_mops']:.2f}",
+                str(row["shed_ops"]),
+                str(row["lost_ops"]),
+                str(row["queue_peak"]),
+                str(row["crashes"]),
+                "-" if row["rto_cycles"] is None else str(row["rto_cycles"]),
+            ))
+        widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+        for r in rows:
+            print("  ".join(col.rjust(w) for col, w in zip(r, widths)))
+        if durability_dir is not None:
+            print(f"durable state under {durability_dir}")
+
+    if args.fault != "none":
+        recovered = any(
+            row["fault_cycles"] and row["rto_cycles"] is not None
+            for row in report["rows"]
+        )
+        if not recovered:
+            print(
+                "serve: tail latency never re-entered the SLO after the "
+                "fault (no RTO)", file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.art.validate import validate_tree
     from repro.obs import Telemetry
@@ -737,6 +903,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_recover(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "stats":

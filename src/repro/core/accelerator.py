@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -81,6 +82,286 @@ def hbm_bandwidth_cycles(
     return math.ceil(offchip_bytes / (hbm_gb_s * 1e9) * clock_hz)
 
 
+@dataclass
+class BatchExecution:
+    """What one executed batch cost and produced.
+
+    The unit of work both execution modes share: the closed-loop
+    :meth:`DcartAccelerator.run` accumulates these into a
+    :class:`~repro.engines.base.RunResult`, and the open-loop serving
+    simulator (:mod:`repro.serve`) prices queueing delay on top of them.
+    ``service_cycles`` is the batch's full SOU-side bill — compute vs.
+    HBM floor, plus sync, redispatch, and durability — while
+    ``pcu_cycles`` is the combining time that precedes SOU dispatch.
+    """
+
+    batch_index: int
+    n_ops: int
+    pcu_cycles: int
+    service_cycles: int
+    compute_cycles: int
+    bandwidth_cycles: int
+    sync_cycles: int
+    redispatch_cycles: int
+    durability_cycles: int
+    outcomes: List[BucketOutcome]
+    per_sou: Dict[int, int]
+
+
+class AcceleratorSession:
+    """The per-batch execution state of one DCART run.
+
+    Owns the hardware units (PCU, Dispatcher, SOUs, Shortcut_Table,
+    Tree_buffer) and every cross-batch accumulator, and executes one
+    combined batch at a time via :meth:`execute_batch`.  Two drivers use
+    it: :meth:`DcartAccelerator.run` drains a fixed workload closed-loop
+    (batches of ``config.batch_size``, results bit-identical to the
+    pre-session implementation), and the open-loop serving simulator
+    feeds it batches formed by arrival time and deadline.  The caller is
+    responsible for resetting the injector before the first batch and
+    for closing the durability manager when done.
+    """
+
+    def __init__(
+        self,
+        accelerator: "DcartAccelerator",
+        workload: Workload,
+        tree: AdaptiveRadixTree,
+    ):
+        config = accelerator.config
+        self.config = config
+        self.costs = config.costs
+        self.tree = tree
+        self.extractor = accelerator._make_extractor(workload)
+        self.tables = BucketTables(
+            self.extractor, config.n_buckets, config.bucket_buffer_bytes
+        )
+        self.pcu = PrefixCombiningUnit(self.tables, self.costs)
+        self.dispatcher = Dispatcher(config.n_sous)
+        self.shortcuts = (
+            ShortcutTable(config.shortcut_buffer_bytes)
+            if config.enable_shortcuts
+            else None
+        )
+        buffer_cls = (
+            ValueAwareTreeBuffer if config.value_aware_tree_buffer else LruTreeBuffer
+        )
+        self.tree_buffer = buffer_cls(config.tree_buffer_bytes)
+        self.injector = accelerator.injector
+        telemetry = accelerator.telemetry
+        self.tracer = telemetry.tracer if telemetry is not None else None
+        self.durability = accelerator.durability
+        self.durability_cycles_total = 0
+        if self.durability is not None:
+            attach_seconds = self.durability.attach(tree)
+            self.durability_cycles_total += int(attach_seconds * self.costs.clock_hz)
+        self.sous = [
+            ShortcutOperatingUnit(
+                sou_id=i,
+                tree=tree,
+                shortcuts=self.shortcuts,
+                tree_buffer=self.tree_buffer,
+                costs=self.costs,
+                shared_depth_bytes=self.extractor.byte_offset,
+                injector=self.injector,
+            )
+            for i in range(config.n_sous)
+        ]
+        # Cross-batch accumulators (read by the drivers at finalise time).
+        self.contentions = 0
+        self.global_sync_ops = 0
+        self.sync_cycles_total = 0
+        self.offchip_lines_total = 0
+        self.redispatch_cycles_total = 0
+        self.batches_executed = 0
+
+    # ------------------------------------------------------------------
+
+    def execute_batch(
+        self, batch: List[Operation], batch_index: int
+    ) -> BatchExecution:
+        """Combine, dispatch, and execute one batch; bill its cycles."""
+        config = self.config
+        costs = self.costs
+        injector = self.injector
+        durability = self.durability
+        self.tree_buffer.decay()
+        if injector is not None:
+            injector.start_batch(
+                batch_index, self.dispatcher, self.shortcuts, self.tree_buffer,
+                durability=durability,
+            )
+        if config.enable_combining:
+            pcu_outcome = self.pcu.combine_batch(batch)
+            dispatched = self.dispatcher.dispatch(self.tables)
+            pcu_cycles = pcu_outcome.cycles
+        else:
+            dispatched = self._round_robin(batch)
+            pcu_cycles = 0
+
+        # Write-ahead: the combined batch reaches the log (and its
+        # COMMIT fsync point) before any SOU may mutate the tree.
+        batch_durability_cycles = 0
+        if durability is not None:
+            wal_seconds = durability.log_batch(batch_index, batch)
+            batch_durability_cycles += int(wal_seconds * costs.clock_hz)
+
+        outcomes = [self.sous[b.sou_id].process_bucket(b) for b in dispatched]
+
+        per_sou: Dict[int, int] = {}
+        batch_offchip_lines = 0
+        for outcome in outcomes:
+            per_sou[outcome.sou_id] = per_sou.get(outcome.sou_id, 0) + outcome.cycles
+            batch_offchip_lines += outcome.offchip_lines
+        compute_cycles = max(per_sou.values()) if per_sou else 0
+
+        # Residual synchronisation: structural writes to shared
+        # ancestors serialise on a global lock across SOUs.
+        sync_targets: List[int] = []
+        for outcome in outcomes:
+            sync_targets.extend(outcome.global_sync_targets)
+        batch_sync_cycles = len(sync_targets) * costs.global_sync_cycles
+        counts = Counter(sync_targets)
+        self.contentions += sum(c - 1 for c in counts.values() if c > 1)
+        # Each shared-ancestor lock stalls the other active SOUs.
+        active_sous = len({o.sou_id for o in outcomes})
+        self.contentions += len(sync_targets) * max(0, active_sous - 1)
+        # One contention per coalesced write group (single lock for
+        # the whole group, vs. k-1 contentions operation-centric).
+        self.contentions += sum(o.coalesced_contended_groups for o in outcomes)
+        if not config.enable_combining:
+            # Without combining, same-node writes land on different
+            # SOUs and must synchronise like any shared write.
+            extra = self._uncombined_conflicts(batch)
+            self.contentions += extra
+            batch_sync_cycles += extra * costs.global_sync_cycles
+        self.global_sync_ops += len(sync_targets)
+        self.sync_cycles_total += batch_sync_cycles
+
+        # HBM bandwidth floor for the batch's off-chip traffic.
+        offchip_bytes = batch_offchip_lines * CACHE_LINE_BYTES
+        if self.shortcuts is not None:
+            offchip_bytes += sum(o.shortcut_misses for o in outcomes) * (
+                SHORTCUT_ENTRY_BYTES
+            )
+        hbm_gb_s = costs.hbm_bandwidth_gb_s
+        if injector is not None:
+            # A throttle window narrows the effective HBM bandwidth
+            # (factor 0 = blackout, priced per line below).
+            hbm_gb_s *= injector.bandwidth_factor()
+        bandwidth_cycles = hbm_bandwidth_cycles(
+            offchip_bytes, hbm_gb_s, costs.clock_hz,
+            blackout_cycles_per_line=costs.hbm_blackout_cycles_per_line,
+        )
+        self.offchip_lines_total += batch_offchip_lines
+        # Failover re-dispatch: the Dispatcher re-targets each of a
+        # failed unit's buckets, serialised like any dispatch step.
+        redispatch_cycles = (
+            self.dispatcher.failovers_last_batch * costs.redispatch_cycles
+        )
+        self.redispatch_cycles_total += redispatch_cycles
+        # The batch is fully applied: checkpoint if one is due.
+        if durability is not None:
+            ckpt_seconds = durability.maybe_checkpoint(
+                batch_index, self.tree,
+                accel_state=durability_accel_state(self.shortcuts, self.tables),
+            )
+            batch_durability_cycles += int(ckpt_seconds * costs.clock_hz)
+            self.durability_cycles_total += batch_durability_cycles
+        batch_cycles = (
+            max(compute_cycles, bandwidth_cycles)
+            + batch_sync_cycles
+            + redispatch_cycles
+            + batch_durability_cycles
+        )
+        if self.tracer is not None:
+            self.tracer.record_batch(BatchSample(
+                batch_index=batch_index,
+                n_ops=len(batch),
+                pcu_cycles=pcu_cycles,
+                per_sou_cycles=dict(per_sou),
+                compute_cycles=compute_cycles,
+                bandwidth_cycles=bandwidth_cycles,
+                sync_cycles=batch_sync_cycles,
+                redispatch_cycles=redispatch_cycles,
+                durability_cycles=batch_durability_cycles,
+            ))
+        if injector is not None:
+            injector.end_batch(batch_index, len(batch), batch_cycles, per_sou)
+        self.batches_executed += 1
+        return BatchExecution(
+            batch_index=batch_index,
+            n_ops=len(batch),
+            pcu_cycles=pcu_cycles,
+            service_cycles=batch_cycles,
+            compute_cycles=compute_cycles,
+            bandwidth_cycles=bandwidth_cycles,
+            sync_cycles=batch_sync_cycles,
+            redispatch_cycles=redispatch_cycles,
+            durability_cycles=batch_durability_cycles,
+            outcomes=outcomes,
+            per_sou=per_sou,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _round_robin(self, batch: List[Operation]) -> List[DispatchedBucket]:
+        """No-combining ablation: arrival order, round-robin over SOUs.
+
+        Routing still goes through the dispatcher so fail-stopped units
+        are skipped (their slices fail over like any bucket would).
+        """
+        dispatcher = self.dispatcher
+        per_sou: List[List[Operation]] = [[] for _ in range(self.config.n_sous)]
+        for i, op in enumerate(batch):
+            per_sou[i % self.config.n_sous].append(op)
+        dispatcher.failovers_last_batch = 0
+        out: List[DispatchedBucket] = []
+        for i, ops in enumerate(per_sou):
+            if not ops:
+                continue
+            sou_id = dispatcher.route(i)
+            if sou_id != i:
+                dispatcher.failovers += 1
+                dispatcher.failovers_last_batch += 1
+            out.append(
+                DispatchedBucket(
+                    bucket_id=i, sou_id=sou_id, operations=ops, value=len(ops)
+                )
+            )
+        return out
+
+    @staticmethod
+    def _uncombined_conflicts(batch: List[Operation]) -> int:
+        """Same-key write collisions within an uncombined batch."""
+        writers: Counter = Counter()
+        touched: Counter = Counter()
+        for op in batch:
+            touched[op.key] += 1
+            if op.kind.is_write:
+                writers[op.key] += 1
+        return sum(
+            touched[key] - 1 for key, count in writers.items() if touched[key] > 1
+        )
+
+    # ------------------------------------------------------------------
+
+    def report_metrics(self, registry: MetricsRegistry) -> None:
+        """Every unit's counters, in the same shape either driver sees."""
+        self.pcu.report_metrics(registry)
+        self.dispatcher.report_metrics(registry)
+        for sou in self.sous:
+            sou.report_metrics(registry)
+        if self.shortcuts is not None:
+            self.shortcuts.report_metrics(registry)
+        else:
+            # Shortcut ablation: the view's keys must still exist.
+            registry.gauge("shortcut_table.entries", 0)
+            registry.gauge("shortcut_table.buffer_hit_rate", 0.0)
+            registry.counter("shortcut_table.stale_hits", 0)
+        self.tree_buffer.report_metrics(registry)
+
+
 class DcartAccelerator(Engine):
     """DCART on the Alveo U280, as a deterministic cycle model."""
 
@@ -127,159 +408,35 @@ class DcartAccelerator(Engine):
             tree = self.build_tree(workload)
         result = self._new_result(workload)
 
-        extractor = self._make_extractor(workload)
-        tables = BucketTables(extractor, config.n_buckets, config.bucket_buffer_bytes)
-        pcu = PrefixCombiningUnit(tables, costs)
-        dispatcher = Dispatcher(config.n_sous)
-        shortcuts = (
-            ShortcutTable(config.shortcut_buffer_bytes)
-            if config.enable_shortcuts
-            else None
-        )
-        buffer_cls = (
-            ValueAwareTreeBuffer if config.value_aware_tree_buffer else LruTreeBuffer
-        )
-        tree_buffer = buffer_cls(config.tree_buffer_bytes)
         injector = self.injector
         if injector is not None:
             injector.reset()
+        session = self.open_session(workload, tree)
         telemetry = self.telemetry
-        tracer = telemetry.tracer if telemetry is not None else None
+        tracer = session.tracer
         durability = self.durability
-        durability_cycles_total = 0
-        if durability is not None:
-            attach_seconds = durability.attach(tree)
-            durability_cycles_total += int(attach_seconds * costs.clock_hz)
-        sous = [
-            ShortcutOperatingUnit(
-                sou_id=i,
-                tree=tree,
-                shortcuts=shortcuts,
-                tree_buffer=tree_buffer,
-                costs=costs,
-                shared_depth_bytes=extractor.byte_offset,
-                injector=injector,
-            )
-            for i in range(config.n_sous)
-        ]
 
         pcu_cycles: List[int] = []
         sou_cycles: List[int] = []
         batch_outcomes: List[List[BucketOutcome]] = []
-        contentions = 0
-        global_sync_ops = 0
-        sync_cycles_total = 0
-        offchip_lines_total = 0
-        redispatch_cycles_total = 0
 
         for batch_index, batch in enumerate(
             workload.operations.batches(config.batch_size)
         ):
-            tree_buffer.decay()
-            if injector is not None:
-                injector.start_batch(
-                    batch_index, dispatcher, shortcuts, tree_buffer,
-                    durability=durability,
-                )
-            if config.enable_combining:
-                pcu_outcome = pcu.combine_batch(batch)
-                dispatched = dispatcher.dispatch(tables)
-                pcu_cycles.append(pcu_outcome.cycles)
-            else:
-                dispatched = self._round_robin(batch, dispatcher)
-                pcu_cycles.append(0)
+            execution = session.execute_batch(batch, batch_index)
+            pcu_cycles.append(execution.pcu_cycles)
+            sou_cycles.append(execution.service_cycles)
+            batch_outcomes.append(execution.outcomes)
 
-            # Write-ahead: the combined batch reaches the log (and its
-            # COMMIT fsync point) before any SOU may mutate the tree.
-            batch_durability_cycles = 0
-            if durability is not None:
-                wal_seconds = durability.log_batch(batch_index, batch)
-                batch_durability_cycles += int(wal_seconds * costs.clock_hz)
-
-            outcomes = [sous[b.sou_id].process_bucket(b) for b in dispatched]
-            batch_outcomes.append(outcomes)
-
-            per_sou: Dict[int, int] = {}
-            batch_offchip_lines = 0
-            for outcome in outcomes:
-                per_sou[outcome.sou_id] = per_sou.get(outcome.sou_id, 0) + outcome.cycles
-                batch_offchip_lines += outcome.offchip_lines
-            compute_cycles = max(per_sou.values()) if per_sou else 0
-
-            # Residual synchronisation: structural writes to shared
-            # ancestors serialise on a global lock across SOUs.
-            sync_targets: List[int] = []
-            for outcome in outcomes:
-                sync_targets.extend(outcome.global_sync_targets)
-            batch_sync_cycles = len(sync_targets) * costs.global_sync_cycles
-            counts = Counter(sync_targets)
-            contentions += sum(c - 1 for c in counts.values() if c > 1)
-            # Each shared-ancestor lock stalls the other active SOUs.
-            active_sous = len({o.sou_id for o in outcomes})
-            contentions += len(sync_targets) * max(0, active_sous - 1)
-            # One contention per coalesced write group (single lock for
-            # the whole group, vs. k-1 contentions operation-centric).
-            contentions += sum(o.coalesced_contended_groups for o in outcomes)
-            if not config.enable_combining:
-                # Without combining, same-node writes land on different
-                # SOUs and must synchronise like any shared write.
-                extra = self._uncombined_conflicts(batch)
-                contentions += extra
-                batch_sync_cycles += extra * costs.global_sync_cycles
-            global_sync_ops += len(sync_targets)
-            sync_cycles_total += batch_sync_cycles
-
-            # HBM bandwidth floor for the batch's off-chip traffic.
-            offchip_bytes = batch_offchip_lines * CACHE_LINE_BYTES
-            if shortcuts is not None:
-                offchip_bytes += sum(o.shortcut_misses for o in outcomes) * (
-                    SHORTCUT_ENTRY_BYTES
-                )
-            hbm_gb_s = costs.hbm_bandwidth_gb_s
-            if injector is not None:
-                # A throttle window narrows the effective HBM bandwidth
-                # (factor 0 = blackout, priced per line below).
-                hbm_gb_s *= injector.bandwidth_factor()
-            bandwidth_cycles = hbm_bandwidth_cycles(
-                offchip_bytes, hbm_gb_s, costs.clock_hz,
-                blackout_cycles_per_line=costs.hbm_blackout_cycles_per_line,
-            )
-            offchip_lines_total += batch_offchip_lines
-            # Failover re-dispatch: the Dispatcher re-targets each of a
-            # failed unit's buckets, serialised like any dispatch step.
-            redispatch_cycles = (
-                dispatcher.failovers_last_batch * costs.redispatch_cycles
-            )
-            redispatch_cycles_total += redispatch_cycles
-            # The batch is fully applied: checkpoint if one is due.
-            if durability is not None:
-                ckpt_seconds = durability.maybe_checkpoint(
-                    batch_index, tree,
-                    accel_state=durability_accel_state(shortcuts, tables),
-                )
-                batch_durability_cycles += int(ckpt_seconds * costs.clock_hz)
-                durability_cycles_total += batch_durability_cycles
-            batch_cycles = (
-                max(compute_cycles, bandwidth_cycles)
-                + batch_sync_cycles
-                + redispatch_cycles
-                + batch_durability_cycles
-            )
-            sou_cycles.append(batch_cycles)
-            if tracer is not None:
-                tracer.record_batch(BatchSample(
-                    batch_index=batch_index,
-                    n_ops=len(batch),
-                    pcu_cycles=pcu_cycles[-1],
-                    per_sou_cycles=dict(per_sou),
-                    compute_cycles=compute_cycles,
-                    bandwidth_cycles=bandwidth_cycles,
-                    sync_cycles=batch_sync_cycles,
-                    redispatch_cycles=redispatch_cycles,
-                    durability_cycles=batch_durability_cycles,
-                ))
-            if injector is not None:
-                injector.end_batch(batch_index, len(batch), batch_cycles, per_sou)
+        contentions = session.contentions
+        global_sync_ops = session.global_sync_ops
+        sync_cycles_total = session.sync_cycles_total
+        offchip_lines_total = session.offchip_lines_total
+        redispatch_cycles_total = session.redispatch_cycles_total
+        durability_cycles_total = session.durability_cycles_total
+        tree_buffer = session.tree_buffer
+        dispatcher = session.dispatcher
+        extractor = session.extractor
 
         timeline = overlap_timeline(pcu_cycles, sou_cycles, config.enable_overlap)
         elapsed = timeline.total_cycles * costs.cycle_seconds
@@ -329,18 +486,7 @@ class DcartAccelerator(Engine):
         registry = (
             telemetry.registry if telemetry is not None else MetricsRegistry()
         )
-        pcu.report_metrics(registry)
-        dispatcher.report_metrics(registry)
-        for sou in sous:
-            sou.report_metrics(registry)
-        if shortcuts is not None:
-            shortcuts.report_metrics(registry)
-        else:
-            # Shortcut ablation: the view's keys must still exist.
-            registry.gauge("shortcut_table.entries", 0)
-            registry.gauge("shortcut_table.buffer_hit_rate", 0.0)
-            registry.counter("shortcut_table.stale_hits", 0)
-        tree_buffer.report_metrics(registry)
+        session.report_metrics(registry)
         registry.gauge("run.prefix_byte_offset", extractor.byte_offset)
         registry.counter("run.batches", len(sou_cycles))
         registry.counter("run.total_cycles", timeline.total_cycles)
@@ -368,6 +514,18 @@ class DcartAccelerator(Engine):
 
     # ------------------------------------------------------------------
 
+    def open_session(
+        self, workload: Workload, tree: AdaptiveRadixTree
+    ) -> AcceleratorSession:
+        """Fresh per-batch execution state over ``tree``.
+
+        The serving simulator's entry point: it feeds the session
+        arrival-formed batches instead of fixed ``batch_size`` slices.
+        The caller must reset the injector (if any) before the first
+        batch of a run.
+        """
+        return AcceleratorSession(self, workload, tree)
+
     def _make_extractor(self, workload: Workload) -> PrefixExtractor:
         if self.config.prefix_byte_offset is not None:
             return PrefixExtractor(
@@ -375,46 +533,6 @@ class DcartAccelerator(Engine):
             )
         sample = workload.loaded_keys[:CALIBRATION_SAMPLE]
         return PrefixExtractor.calibrate(sample, self.config.n_buckets)
-
-    def _round_robin(
-        self, batch: List[Operation], dispatcher: Dispatcher
-    ) -> List[DispatchedBucket]:
-        """No-combining ablation: arrival order, round-robin over SOUs.
-
-        Routing still goes through the dispatcher so fail-stopped units
-        are skipped (their slices fail over like any bucket would).
-        """
-        per_sou: List[List[Operation]] = [[] for _ in range(self.config.n_sous)]
-        for i, op in enumerate(batch):
-            per_sou[i % self.config.n_sous].append(op)
-        dispatcher.failovers_last_batch = 0
-        out: List[DispatchedBucket] = []
-        for i, ops in enumerate(per_sou):
-            if not ops:
-                continue
-            sou_id = dispatcher.route(i)
-            if sou_id != i:
-                dispatcher.failovers += 1
-                dispatcher.failovers_last_batch += 1
-            out.append(
-                DispatchedBucket(
-                    bucket_id=i, sou_id=sou_id, operations=ops, value=len(ops)
-                )
-            )
-        return out
-
-    @staticmethod
-    def _uncombined_conflicts(batch: List[Operation]) -> int:
-        """Same-key write collisions within an uncombined batch."""
-        writers: Counter = Counter()
-        touched: Counter = Counter()
-        for op in batch:
-            touched[op.key] += 1
-            if op.kind.is_write:
-                writers[op.key] += 1
-        return sum(
-            touched[key] - 1 for key, count in writers.items() if touched[key] > 1
-        )
 
     def _aggregate(
         self,

@@ -34,12 +34,26 @@ from typing import Iterator, List, Optional, Tuple, Union
 from repro.errors import ConfigError
 
 
+def _check_batch(batch: int, what: str = "batch") -> None:
+    if batch < 0:
+        raise ConfigError(f"{what} must be >= 0: {batch}")
+
+
+def _check_sou_id(sou_id: int) -> None:
+    if sou_id < 0:
+        raise ConfigError(f"sou_id must be >= 0: {sou_id}")
+
+
 @dataclass(frozen=True)
 class SouFailStop:
     """SOU ``sou_id`` fail-stops at the start of batch ``batch``."""
 
     batch: int
     sou_id: int
+
+    def __post_init__(self):
+        _check_batch(self.batch)
+        _check_sou_id(self.sou_id)
 
     def describe(self) -> str:
         return f"batch {self.batch}: SOU {self.sou_id} fail-stop"
@@ -55,6 +69,8 @@ class SouSlowdown:
     factor: float
 
     def __post_init__(self):
+        _check_batch(self.start_batch, "start_batch")
+        _check_sou_id(self.sou_id)
         if self.factor < 1.0:
             raise ConfigError(f"slowdown factor must be >= 1: {self.factor}")
         if self.end_batch < self.start_batch:
@@ -77,6 +93,7 @@ class ShortcutCorruption:
     n_entries: int
 
     def __post_init__(self):
+        _check_batch(self.batch)
         if self.n_entries <= 0:
             raise ConfigError(f"n_entries must be positive: {self.n_entries}")
 
@@ -92,6 +109,7 @@ class BufferStorm:
     fraction: float
 
     def __post_init__(self):
+        _check_batch(self.batch)
         if not 0.0 < self.fraction <= 1.0:
             raise ConfigError(f"storm fraction must be in (0, 1]: {self.fraction}")
 
@@ -116,6 +134,7 @@ class HbmThrottle:
     factor: float
 
     def __post_init__(self):
+        _check_batch(self.start_batch, "start_batch")
         if not 0.0 <= self.factor <= 1.0:
             raise ConfigError(f"throttle factor must be in [0, 1]: {self.factor}")
         if self.end_batch < self.start_batch:
@@ -158,6 +177,7 @@ class CrashFault:
     detail: int = 0
 
     def __post_init__(self):
+        _check_batch(self.batch)
         if self.point not in CRASH_POINTS:
             raise ConfigError(
                 f"unknown crash point {self.point!r}; one of {CRASH_POINTS}"
@@ -239,6 +259,23 @@ class FaultSchedule:
         return factor
 
     # ------------------------------------------------------------------
+
+    def validate_sous(self, n_sous: int) -> "FaultSchedule":
+        """Reject events naming SOUs the target machine does not have.
+
+        Upper-bound checking needs the machine width, so it cannot live
+        in the event constructors; runs that pair a schedule with an
+        :class:`~repro.core.config.AcceleratorConfig` call this before
+        arming the injector.  Returns ``self`` so it chains.
+        """
+        for event in self.events:
+            sou_id = getattr(event, "sou_id", None)
+            if sou_id is not None and sou_id >= n_sous:
+                raise ConfigError(
+                    f"fault event targets SOU {sou_id}, but the machine has "
+                    f"only {n_sous} SOUs: {event.describe()}"
+                )
+        return self
 
     def signature(self) -> str:
         """Content hash of the plan — equal seeds give equal signatures."""

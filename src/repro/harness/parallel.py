@@ -15,13 +15,23 @@ Consequently ``run_cells(cells, jobs=N)`` returns bit-identical output
 for every ``N`` (including the in-process ``jobs=1`` path), which the
 test suite asserts through the lossless
 :func:`~repro.harness.serialize.result_to_full_dict` encoding.
+
+A crashed or raising worker does not abort the sweep: the cell is
+retried exactly once with the same seed (in a fresh single-worker pool,
+since a hard crash poisons the shared one), and a second failure
+produces a structured per-cell error document in the cell's slot rather
+than an exception — 99 healthy cells survive the one that dies.
 """
 
 from __future__ import annotations
 
+import logging
+
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+LOG = logging.getLogger(__name__)
 
 from repro.errors import ConfigError
 from repro.harness.serialize import result_to_full_dict
@@ -123,21 +133,101 @@ def run_cell(cell: SweepCell) -> Dict[str, object]:
     return doc
 
 
+def error_doc(
+    cell: SweepCell, first: BaseException, retry: BaseException
+) -> Dict[str, object]:
+    """The structured slot-filler for a cell that failed twice."""
+    return {
+        "cell": {
+            "engine": cell.engine,
+            "workload": cell.workload,
+            "seed": cell.seed,
+            "n_keys": cell.n_keys,
+            "n_ops": cell.n_ops,
+            "write_ratio": cell.write_ratio,
+            "op_skew": cell.op_skew,
+        },
+        "error": {
+            "type": type(retry).__name__,
+            "message": str(retry) or repr(retry),
+            "first_type": type(first).__name__,
+            "first_message": str(first) or repr(first),
+            "retried": True,
+        },
+    }
+
+
+def cell_failed(doc: Dict[str, object]) -> bool:
+    """True when ``doc`` is a per-cell error slot, not a result."""
+    return "error" in doc
+
+
+def _retry_cell(
+    worker: Callable[[SweepCell], Dict[str, object]],
+    cell: SweepCell,
+    first: BaseException,
+    in_process: bool,
+) -> Dict[str, object]:
+    """One retry with the same seed; a fresh pool isolates hard crashes.
+
+    A worker that died mid-cell may have poisoned its pool
+    (``BrokenProcessPool`` marks every sibling future), so the retry
+    never reuses the original executor.  The in-process path retries
+    inline — a plain exception there cannot corrupt shared state.
+    """
+    LOG.warning("cell %s failed (%s); retrying once", cell.label(), first)
+    try:
+        if in_process:
+            return worker(cell)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            return pool.submit(worker, cell).result()
+    except BaseException as again:  # noqa: BLE001 - converted to a doc
+        if isinstance(again, (KeyboardInterrupt, SystemExit)):
+            raise
+        LOG.error("cell %s failed twice; recording error", cell.label())
+        return error_doc(cell, first, again)
+
+
 def run_cells(
-    cells: Sequence[SweepCell], jobs: int = 1
+    cells: Sequence[SweepCell],
+    jobs: int = 1,
+    worker: Callable[[SweepCell], Dict[str, object]] = run_cell,
 ) -> List[Dict[str, object]]:
     """Run every cell, ``jobs`` at a time, collecting in cell order.
 
     ``jobs=1`` runs in-process (no pool, easier to debug/profile);
     ``jobs>1`` fans out over processes.  Output is identical either way.
+
+    A cell whose worker raises — or whose worker *process* dies — is
+    retried once with the same seed; if the retry also fails its slot
+    holds :func:`error_doc` output instead of a result, and every other
+    cell still completes.  ``worker`` is injectable for tests and must
+    be a module-level callable when ``jobs > 1`` (pickling).
     """
     if jobs <= 0:
         raise ConfigError(f"jobs must be positive: {jobs}")
     cells = list(cells)
     if jobs == 1 or len(cells) <= 1:
-        return [run_cell(cell) for cell in cells]
+        out = []
+        for cell in cells:
+            try:
+                out.append(worker(cell))
+            except BaseException as exc:  # noqa: BLE001 - retried below
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                out.append(_retry_cell(worker, cell, exc, in_process=True))
+        return out
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(run_cell, cells, chunksize=1))
+        futures = [pool.submit(worker, cell) for cell in cells]
+        results: List[Dict[str, object]] = []
+        for cell, future in zip(cells, futures):
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - retried below
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                results.append(_retry_cell(worker, cell, exc, in_process=False))
+    return results
 
 
 def summarise(results: Iterable[Dict[str, object]]) -> List[Tuple[str, ...]]:
@@ -145,6 +235,19 @@ def summarise(results: Iterable[Dict[str, object]]) -> List[Tuple[str, ...]]:
     rows = []
     for doc in results:
         cell = doc["cell"]
+        if cell_failed(doc):
+            error = doc["error"]
+            rows.append(
+                (
+                    cell["engine"],
+                    cell["workload"],
+                    str(cell["seed"]),
+                    "FAILED",
+                    error["type"],
+                    error["message"][:40],
+                )
+            )
+            continue
         elapsed = doc["elapsed_seconds"]
         mops = doc["n_ops"] / elapsed / 1e6 if elapsed else 0.0
         rows.append(

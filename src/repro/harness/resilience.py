@@ -76,7 +76,15 @@ class ChaosOutcome:
 
     @property
     def degradation(self) -> float:
-        """Observed slowdown: healthy throughput over faulted throughput."""
+        """Observed slowdown: healthy throughput over faulted throughput.
+
+        Vacuous comparisons are 1.0, not a division blow-up: an empty
+        workload (both runs at zero throughput) did not degrade, it
+        measured nothing.  ``inf`` is reserved for a genuine stall —
+        the healthy machine made progress and the faulted one did not.
+        """
+        if self.baseline.throughput_mops == 0:
+            return 1.0
         if self.result.throughput_mops == 0:
             return float("inf")
         return self.baseline.throughput_mops / self.result.throughput_mops
@@ -84,6 +92,8 @@ class ChaosOutcome:
     @property
     def proportional_loss(self) -> float:
         """Slowdown of a perfectly rebalanced machine losing those units."""
+        if self.n_sous <= 0:
+            return 1.0
         survivors = self.n_sous - self.n_failed
         if survivors <= 0:
             return float("inf")
@@ -142,7 +152,9 @@ def chaos_run(
     if baseline is None:
         baseline = DcartAccelerator(config=config).run(workload)
 
-    injector = FaultInjector(schedule, watchdog=watchdog)
+    injector = FaultInjector(
+        schedule.validate_sous(config.n_sous), watchdog=watchdog
+    )
     accelerator = DcartAccelerator(config=config, injector=injector)
     tree = accelerator.build_tree(workload)
     LOG.info("chaos run starting: %s", schedule.describe())

@@ -182,12 +182,20 @@ class DurabilityCosts:
     wal_bandwidth_gb_s: float = 3.2      # NVMe sequential append stream
     fsync_latency_us: float = 15.0       # write-cache flush per sync point
     checkpoint_bandwidth_gb_s: float = 1.8
+    #: Fixed restart cost of one crash recovery (device re-open, manifest
+    #: walk, checkpoint image load) — the serving-mode downtime floor.
+    recovery_fixed_us: float = 500.0
+    #: Per-op WAL replay cost during recovery: decode one record and
+    #: re-apply it to the in-memory tree (DRAM-bound upsert).
+    recovery_replay_op_us: float = 0.25
 
     def __post_init__(self) -> None:
         _positive(
             wal_bandwidth_gb_s=self.wal_bandwidth_gb_s,
             fsync_latency_us=self.fsync_latency_us,
             checkpoint_bandwidth_gb_s=self.checkpoint_bandwidth_gb_s,
+            recovery_fixed_us=self.recovery_fixed_us,
+            recovery_replay_op_us=self.recovery_replay_op_us,
         )
 
     def wal_seconds(self, n_bytes: int, n_fsyncs: int = 0) -> float:
@@ -206,6 +214,18 @@ class DurabilityCosts:
         return (
             n_bytes / (self.checkpoint_bandwidth_gb_s * 1e9)
             + 2 * self.fsync_latency_us * 1e-6
+        )
+
+    def recovery_seconds(self, ops_replayed: int) -> float:
+        """Downtime of one crash recovery that replayed ``ops_replayed``.
+
+        The serving simulator bills this as server unavailability between
+        a :class:`~repro.errors.SimulatedCrash` and the first post-crash
+        batch — the denominator of the measured recovery-time objective.
+        """
+        return (
+            self.recovery_fixed_us * 1e-6
+            + ops_replayed * self.recovery_replay_op_us * 1e-6
         )
 
 

@@ -1,0 +1,74 @@
+"""Open-loop serving mode: arrival processes, admission control, SLOs.
+
+Everything else in the repo replays a pre-built operation stream
+closed-loop — the accelerator is never idle and never behind, so latency
+is purely service time.  This package adds the serving-grade view:
+
+* :mod:`arrivals` — seeded arrival-process generators (Poisson, bursty
+  MMPP, diurnal ramp) that stamp every workload operation with an
+  arrival cycle at a configurable offered load;
+* :mod:`admission` — a bounded ingest queue with pluggable admission
+  policies (drop-tail, watermark shedding, token bucket) so overload
+  sheds load instead of growing latency without bound;
+* :mod:`batcher`  — a size-or-deadline batch former, the open-loop
+  analogue of the closed-loop fixed batch;
+* :mod:`slo`      — latency percentiles, goodput, and recovery-time
+  objective (RTO) over the completion timeline;
+* :mod:`simulator` — the event loop tying it together over a
+  :class:`~repro.core.accelerator.AcceleratorSession` (or a calibrated
+  stand-in for the CPU baselines), plus the offered-load sweep behind
+  ``repro serve``.
+"""
+
+from repro.serve.admission import (
+    ADMISSION_NAMES,
+    AdmissionPolicy,
+    AdmitAll,
+    DropTail,
+    TokenBucket,
+    WatermarkShedding,
+    make_admission,
+)
+from repro.serve.arrivals import (
+    ARRIVAL_NAMES,
+    ArrivalProcess,
+    DiurnalProcess,
+    MmppProcess,
+    PoissonProcess,
+    make_arrivals,
+)
+from repro.serve.batcher import BatchFormer, FormedBatch
+from repro.serve.simulator import (
+    SERVE_SCHEMA,
+    ServeConfig,
+    ServeResult,
+    ServingSimulator,
+    load_sweep,
+)
+from repro.serve.slo import SloTracker, latency_percentiles_us, rto_cycles
+
+__all__ = [
+    "ADMISSION_NAMES",
+    "ARRIVAL_NAMES",
+    "SERVE_SCHEMA",
+    "AdmissionPolicy",
+    "AdmitAll",
+    "ArrivalProcess",
+    "BatchFormer",
+    "DiurnalProcess",
+    "DropTail",
+    "FormedBatch",
+    "MmppProcess",
+    "PoissonProcess",
+    "ServeConfig",
+    "ServeResult",
+    "ServingSimulator",
+    "SloTracker",
+    "TokenBucket",
+    "WatermarkShedding",
+    "latency_percentiles_us",
+    "load_sweep",
+    "make_admission",
+    "make_arrivals",
+    "rto_cycles",
+]

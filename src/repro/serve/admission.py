@@ -1,0 +1,181 @@
+"""Admission control for the bounded ingest queue.
+
+An open-loop client does not slow down when the server falls behind —
+without admission control the ingest queue grows without bound and every
+op's latency with it.  A policy decides, per arriving operation, whether
+to enqueue it or shed it, given the current queue depth; the simulator
+accounts every shed op as lost goodput and every admitted op's queueing
+delay into its latency.
+
+Policies (factory names in :data:`ADMISSION_NAMES`):
+
+* ``none``      — :class:`AdmitAll`: unbounded queue, the divergence
+  baseline every bounded policy is compared against;
+* ``drop-tail`` — :class:`DropTail`: admit until the queue is full, then
+  drop;
+* ``watermark`` — :class:`WatermarkShedding`: shed probabilistically
+  above a low watermark, ramping to certain-drop at the cap (random
+  early detection, seeded);
+* ``token-bucket`` — :class:`TokenBucket`: rate-limit admissions to a
+  sustained fill rate with bounded burst credit, independent of queue
+  depth (plus a hard cap as a backstop).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: CLI / factory names, in presentation order.
+ADMISSION_NAMES: Tuple[str, ...] = (
+    "none",
+    "drop-tail",
+    "watermark",
+    "token-bucket",
+)
+
+
+class AdmissionPolicy(abc.ABC):
+    """Per-op admit/shed decision against the current queue depth."""
+
+    name: str = "admission"
+
+    @abc.abstractmethod
+    def admit(self, now_cycle: int, queue_depth: int) -> bool:
+        """True to enqueue the op arriving at ``now_cycle``."""
+
+    def reset(self) -> None:
+        """Restore initial state (fresh run of the same policy object)."""
+
+
+class AdmitAll(AdmissionPolicy):
+    """Unbounded queue: never sheds.  The graceful-degradation control."""
+
+    name = "none"
+
+    def admit(self, now_cycle: int, queue_depth: int) -> bool:
+        return True
+
+
+class DropTail(AdmissionPolicy):
+    """Admit while the queue holds fewer than ``capacity`` ops."""
+
+    name = "drop-tail"
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ConfigError(f"queue capacity must be positive: {capacity}")
+        self.capacity = capacity
+
+    def admit(self, now_cycle: int, queue_depth: int) -> bool:
+        return queue_depth < self.capacity
+
+
+class WatermarkShedding(AdmissionPolicy):
+    """Probabilistic shedding above a watermark (seeded RED).
+
+    Below ``watermark * capacity`` everything is admitted; between the
+    watermark and the cap the drop probability ramps linearly from 0 to
+    1; at or above the cap everything is dropped.  The coin flips come
+    from a seeded generator so a run replays exactly.
+    """
+
+    name = "watermark"
+
+    def __init__(self, capacity: int, watermark: float = 0.5, seed: int = 0):
+        if capacity <= 0:
+            raise ConfigError(f"queue capacity must be positive: {capacity}")
+        if not 0.0 < watermark < 1.0:
+            raise ConfigError(f"watermark must be in (0, 1): {watermark}")
+        self.capacity = capacity
+        self.watermark = watermark
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def admit(self, now_cycle: int, queue_depth: int) -> bool:
+        low = self.watermark * self.capacity
+        if queue_depth < low:
+            return True
+        if queue_depth >= self.capacity:
+            return False
+        drop_p = (queue_depth - low) / (self.capacity - low)
+        return bool(self._rng.random() >= drop_p)
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+
+class TokenBucket(AdmissionPolicy):
+    """Rate limiter: ``fill_rate`` tokens/cycle, ``burst`` token cap.
+
+    Admission costs one token; tokens accrue with simulated time, so a
+    burst beyond the credit is shed regardless of queue depth.  A hard
+    queue cap backstops the case where the admitted rate still exceeds
+    service capacity for long stretches.
+    """
+
+    name = "token-bucket"
+
+    def __init__(self, fill_rate_per_cycle: float, burst: int, capacity: int):
+        if fill_rate_per_cycle <= 0:
+            raise ConfigError(
+                f"token fill rate must be positive: {fill_rate_per_cycle}"
+            )
+        if burst <= 0:
+            raise ConfigError(f"token burst must be positive: {burst}")
+        if capacity <= 0:
+            raise ConfigError(f"queue capacity must be positive: {capacity}")
+        self.fill_rate_per_cycle = fill_rate_per_cycle
+        self.burst = burst
+        self.capacity = capacity
+        self._tokens = float(burst)
+        self._last_cycle = 0
+
+    def admit(self, now_cycle: int, queue_depth: int) -> bool:
+        elapsed = max(0, now_cycle - self._last_cycle)
+        self._last_cycle = max(self._last_cycle, now_cycle)
+        self._tokens = min(
+            float(self.burst), self._tokens + elapsed * self.fill_rate_per_cycle
+        )
+        if queue_depth >= self.capacity:
+            return False
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def reset(self) -> None:
+        self._tokens = float(self.burst)
+        self._last_cycle = 0
+
+
+def make_admission(
+    name: str,
+    capacity: int,
+    *,
+    watermark: float = 0.5,
+    seed: int = 0,
+    fill_rate_per_cycle: float = 0.0,
+    burst: int = 0,
+) -> AdmissionPolicy:
+    """Factory behind ``repro serve --admission``."""
+    if name == "none":
+        return AdmitAll()
+    if name == "drop-tail":
+        return DropTail(capacity)
+    if name == "watermark":
+        return WatermarkShedding(capacity, watermark=watermark, seed=seed)
+    if name == "token-bucket":
+        if fill_rate_per_cycle <= 0 or burst <= 0:
+            raise ConfigError(
+                "token-bucket admission needs fill_rate_per_cycle > 0 "
+                f"and burst > 0 (got {fill_rate_per_cycle}, {burst})"
+            )
+        return TokenBucket(fill_rate_per_cycle, burst, capacity)
+    raise ConfigError(
+        f"unknown admission policy {name!r}; expected one of {ADMISSION_NAMES}"
+    )

@@ -1,0 +1,178 @@
+"""Seeded arrival processes: when each operation reaches the ingest queue.
+
+An arrival process turns a workload's operation stream into an open-loop
+request timeline: operation *i* arrives at ``arrival_cycles[i]`` (in
+accelerator clock cycles), independent of when the server gets around to
+it.  Offered load is set in operations per *simulated* second; everything
+is a pure function of ``(seed, rate, n_ops)``, so a sweep row is exactly
+replayable.
+
+Three generators cover the serving regimes the SLO harness cares about:
+
+* :class:`PoissonProcess` — memoryless arrivals, the M/·/1 baseline;
+* :class:`MmppProcess`    — a two-state Markov-modulated Poisson process
+  alternating bursty and quiet phases with the same long-run rate, the
+  classic stressor for size-or-deadline batch formers;
+* :class:`DiurnalProcess` — a sinusoidal rate ramp (one "day" over the
+  stream), modelling slow load swings rather than burst noise.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: CLI / factory names, in presentation order.
+ARRIVAL_NAMES: Tuple[str, ...] = ("poisson", "bursty", "diurnal")
+
+
+def _check_rate(rate_ops_per_s: float, clock_hz: float) -> None:
+    if rate_ops_per_s <= 0:
+        raise ConfigError(f"offered load must be positive: {rate_ops_per_s}")
+    if clock_hz <= 0:
+        raise ConfigError(f"clock_hz must be positive: {clock_hz}")
+
+
+class ArrivalProcess(abc.ABC):
+    """Generates one arrival cycle per operation, seeded and replayable."""
+
+    name: str = "arrivals"
+
+    @abc.abstractmethod
+    def arrival_cycles(
+        self,
+        n_ops: int,
+        rate_ops_per_s: float,
+        clock_hz: float,
+        seed: int,
+    ) -> np.ndarray:
+        """Non-decreasing int64 arrival cycles for ``n_ops`` operations."""
+
+    @staticmethod
+    def _integrate(inter_cycles: np.ndarray) -> np.ndarray:
+        """Cumulative arrival times, floored to whole cycles."""
+        return np.floor(np.cumsum(inter_cycles)).astype(np.int64)
+
+
+class PoissonProcess(ArrivalProcess):
+    """Memoryless arrivals at a constant offered rate."""
+
+    name = "poisson"
+
+    def arrival_cycles(
+        self, n_ops: int, rate_ops_per_s: float, clock_hz: float, seed: int
+    ) -> np.ndarray:
+        _check_rate(rate_ops_per_s, clock_hz)
+        if n_ops <= 0:
+            return np.zeros(0, dtype=np.int64)
+        rng = np.random.default_rng(seed)
+        mean_cycles = clock_hz / rate_ops_per_s
+        return self._integrate(rng.exponential(mean_cycles, size=n_ops))
+
+
+class MmppProcess(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process (bursty arrivals).
+
+    The stream alternates *hot* phases at ``burst_factor`` times the
+    nominal rate with *cold* phases slowed so the long-run average stays
+    at the requested rate (the cold rate is the harmonic complement,
+    ``burst_factor * rate / (2 * burst_factor - 1)``).  Phase lengths are
+    geometric with mean ``mean_phase_ops``, drawn from the seed.
+    """
+
+    name = "bursty"
+
+    def __init__(self, burst_factor: float = 4.0, mean_phase_ops: int = 256):
+        if burst_factor <= 1.0:
+            raise ConfigError(
+                f"burst_factor must exceed 1: {burst_factor}"
+            )
+        if mean_phase_ops <= 0:
+            raise ConfigError(
+                f"mean_phase_ops must be positive: {mean_phase_ops}"
+            )
+        self.burst_factor = burst_factor
+        self.mean_phase_ops = mean_phase_ops
+
+    def arrival_cycles(
+        self, n_ops: int, rate_ops_per_s: float, clock_hz: float, seed: int
+    ) -> np.ndarray:
+        _check_rate(rate_ops_per_s, clock_hz)
+        if n_ops <= 0:
+            return np.zeros(0, dtype=np.int64)
+        rng = np.random.default_rng(seed)
+        hot_rate = self.burst_factor * rate_ops_per_s
+        cold_rate = (
+            self.burst_factor * rate_ops_per_s / (2 * self.burst_factor - 1)
+        )
+        inter = np.empty(n_ops, dtype=np.float64)
+        produced = 0
+        hot = bool(rng.integers(0, 2))
+        while produced < n_ops:
+            phase_len = min(
+                int(rng.geometric(1.0 / self.mean_phase_ops)),
+                n_ops - produced,
+            )
+            rate = hot_rate if hot else cold_rate
+            inter[produced : produced + phase_len] = rng.exponential(
+                clock_hz / rate, size=phase_len
+            )
+            produced += phase_len
+            hot = not hot
+        return self._integrate(inter)
+
+
+class DiurnalProcess(ArrivalProcess):
+    """Sinusoidal rate ramp: one full period over the operation stream.
+
+    The instantaneous rate follows ``1 + depth * sin(2*pi*i/n)``, scaled
+    by ``1 / sqrt(1 - depth**2)`` — the harmonic mean of the sinusoid —
+    so the long-run average rate stays at the requested one (same
+    correction the MMPP's cold phase applies).  A slow swell and trough
+    rather than burst noise, so admission control sees sustained
+    pressure build up.
+    """
+
+    name = "diurnal"
+
+    def __init__(self, depth: float = 0.6):
+        if not 0.0 < depth < 1.0:
+            raise ConfigError(f"diurnal depth must be in (0, 1): {depth}")
+        self.depth = depth
+
+    def arrival_cycles(
+        self, n_ops: int, rate_ops_per_s: float, clock_hz: float, seed: int
+    ) -> np.ndarray:
+        _check_rate(rate_ops_per_s, clock_hz)
+        if n_ops <= 0:
+            return np.zeros(0, dtype=np.int64)
+        rng = np.random.default_rng(seed)
+        phase = 2.0 * math.pi * np.arange(n_ops) / n_ops
+        harmonic_mean = math.sqrt(1.0 - self.depth**2)
+        rates = (
+            rate_ops_per_s
+            * (1.0 + self.depth * np.sin(phase))
+            / harmonic_mean
+        )
+        inter = rng.exponential(1.0, size=n_ops) * (clock_hz / rates)
+        return self._integrate(inter)
+
+
+def make_arrivals(name: str, **kwargs: float) -> ArrivalProcess:
+    """Factory behind ``repro serve --arrival``."""
+    if name == "poisson":
+        return PoissonProcess()
+    if name == "bursty":
+        burst = kwargs.get("burst_factor", 4.0)
+        return MmppProcess(burst_factor=float(burst))
+    if name == "diurnal":
+        depth = kwargs.get("depth", 0.6)
+        return DiurnalProcess(depth=float(depth))
+    raise ConfigError(
+        f"unknown arrival process {name!r}; expected one of {ARRIVAL_NAMES}"
+    )

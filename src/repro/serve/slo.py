@@ -1,0 +1,126 @@
+"""SLO accounting: latency percentiles, goodput, and recovery time.
+
+The serving simulator records one ``(completion_cycle, latency_us)``
+sample per completed op.  This module turns that stream into the
+serving-grade verdicts:
+
+* :func:`latency_percentiles_us` — p50/p99/p999 over the whole run;
+* :class:`SloTracker` — the sample sink, plus a *windowed* p99 computed
+  over sliding windows of consecutive completions, which is the signal
+  the recovery-time objective is defined on;
+* :func:`rto_cycles` — cycles from a fault until the windowed p99 first
+  re-enters the SLO on purely post-fault traffic.
+
+Definitions (mirrored in ``docs/SERVING.md``): an op's latency is
+``completion_cycle - arrival_cycle`` (queueing + forming + service), a
+run's goodput is completed ops over the span from first arrival to last
+completion, and RTO is measured on completion order, not arrival order,
+so a recovering server's backlog drain counts against it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Percentiles the report carries, as (label, quantile).
+PERCENTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50_us", 50.0),
+    ("p99_us", 99.0),
+    ("p999_us", 99.9),
+)
+
+
+def latency_percentiles_us(latencies_us: np.ndarray) -> Dict[str, float]:
+    """p50/p99/p999 of a latency sample, NaN-free even when empty."""
+    out: Dict[str, float] = {}
+    for label, q in PERCENTILES:
+        if latencies_us.size == 0:
+            out[label] = 0.0
+        else:
+            out[label] = float(np.percentile(latencies_us, q))
+    return out
+
+
+class SloTracker:
+    """Collects per-op completions and answers SLO questions."""
+
+    def __init__(self) -> None:
+        self._completion_cycles: List[int] = []
+        self._latencies_us: List[float] = []
+
+    def record(self, completion_cycle: int, latency_us: float) -> None:
+        self._completion_cycles.append(completion_cycle)
+        self._latencies_us.append(latency_us)
+
+    @property
+    def n_completed(self) -> int:
+        return len(self._latencies_us)
+
+    def latencies_us(self) -> np.ndarray:
+        return np.asarray(self._latencies_us, dtype=np.float64)
+
+    def percentiles(self) -> Dict[str, float]:
+        return latency_percentiles_us(self.latencies_us())
+
+    def completion_order(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(completion_cycles, latencies_us), sorted by completion."""
+        cycles = np.asarray(self._completion_cycles, dtype=np.int64)
+        lats = np.asarray(self._latencies_us, dtype=np.float64)
+        order = np.argsort(cycles, kind="stable")
+        return cycles[order], lats[order]
+
+    def windowed_p99(
+        self, window_ops: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sliding p99 over windows of ``window_ops`` completions.
+
+        Returns ``(window_start_cycles, window_end_cycles, p99_us)``
+        where window *i* covers completions ``[i, i + window_ops)`` in
+        completion order.  Empty arrays when there are fewer completions
+        than one window.
+        """
+        cycles, lats = self.completion_order()
+        n = cycles.size
+        if n < window_ops or window_ops <= 0:
+            empty_i = np.zeros(0, dtype=np.int64)
+            return empty_i, empty_i.copy(), np.zeros(0)
+        n_windows = n - window_ops + 1
+        starts = cycles[:n_windows]
+        ends = cycles[window_ops - 1 :]
+        windows = np.lib.stride_tricks.sliding_window_view(lats, window_ops)
+        p99 = np.percentile(windows, 99.0, axis=1)
+        return starts, ends, p99
+
+
+def rto_cycles(
+    tracker: SloTracker,
+    fault_cycle: int,
+    slo_us: float,
+    window_ops: int = 64,
+) -> Optional[int]:
+    """Recovery-time objective after a fault at ``fault_cycle``.
+
+    Cycles from the fault until the first sliding window of
+    ``window_ops`` completions that (a) consists entirely of ops
+    completed at or after the fault and (b) has p99 within ``slo_us``.
+    ``None`` when no such window exists — the run never recovered
+    (or ended before one clean post-fault window accumulated).
+    ``0`` when the very first post-fault window is already in SLO:
+    the fault did not dent the tail.
+    """
+    starts, ends, p99 = tracker.windowed_p99(window_ops)
+    if starts.size == 0:
+        return None
+    post = starts >= fault_cycle
+    ok = post & (p99 <= slo_us)
+    idx = np.flatnonzero(ok)
+    if idx.size == 0:
+        return None
+    first = int(idx[0])
+    post_idx = np.flatnonzero(post)
+    if first == int(post_idx[0]):
+        # Never left SLO on post-fault traffic.
+        return 0
+    return max(0, int(ends[first]) - fault_cycle)

@@ -163,3 +163,46 @@ class TestQueries:
         text = schedule.describe()
         assert f"seed 5" in text
         assert len(text.splitlines()) == len(schedule) + 1
+
+
+class TestInputValidation:
+    """Bad times, durations, and SOU ids die at construction, not mid-run."""
+
+    def test_negative_batch_rejected_on_every_point_event(self):
+        with pytest.raises(ConfigError):
+            SouFailStop(-1, 0)
+        with pytest.raises(ConfigError):
+            ShortcutCorruption(-1, 16)
+        with pytest.raises(ConfigError):
+            BufferStorm(-1, 0.5)
+        with pytest.raises(ConfigError):
+            CrashFault(-1, "wal-pre-commit")
+
+    def test_negative_window_start_rejected(self):
+        with pytest.raises(ConfigError):
+            SouSlowdown(-1, 2, sou_id=0, factor=2.0)
+        with pytest.raises(ConfigError):
+            HbmThrottle(-1, 2, factor=0.5)
+
+    def test_negative_sou_id_rejected(self):
+        with pytest.raises(ConfigError):
+            SouFailStop(0, -1)
+        with pytest.raises(ConfigError):
+            SouSlowdown(0, 1, sou_id=-3, factor=2.0)
+
+    def test_validate_sous_rejects_out_of_range_ids(self):
+        schedule = FaultSchedule(seed=1, events=(SouFailStop(0, 16),))
+        with pytest.raises(ConfigError, match="only 16 SOUs"):
+            schedule.validate_sous(16)
+
+    def test_validate_sous_passes_in_range_and_chains(self):
+        schedule = FaultSchedule(
+            seed=1,
+            events=(SouFailStop(0, 15), SouSlowdown(0, 1, 3, 2.0),
+                    HbmThrottle(0, 1, 0.5)),
+        )
+        assert schedule.validate_sous(16) is schedule
+
+    def test_validation_does_not_change_signatures(self):
+        schedule = FaultSchedule(seed=4, events=(SouFailStop(2, 1),))
+        assert schedule.validate_sous(8).signature() == schedule.signature()

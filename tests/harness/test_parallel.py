@@ -89,3 +89,116 @@ class TestSummarise:
         assert float(mops) >= 0.0
         assert float(ms) > 0.0
         assert 0.0 <= float(hit_rate) <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# crashed-worker robustness: retry once, then a structured per-cell error
+# ---------------------------------------------------------------------------
+
+import os
+
+from repro.harness.parallel import cell_failed, error_doc
+
+#: Flag-file path (via env so forked pool workers see it) marking that
+#: the flaky worker has already died once.
+_FLAKY_FLAG_ENV = "REPRO_TEST_PARALLEL_FLAKY_FLAG"
+
+
+def _ok_doc(cell):
+    return {
+        "cell": {"engine": cell.engine, "workload": cell.workload,
+                 "seed": cell.seed},
+        "elapsed_seconds": 1e-3,
+        "n_ops": cell.n_ops,
+        "cache_hit_rate": 0.5,
+    }
+
+
+def _worker_raises_on_seed_2(cell):
+    if cell.seed == 2:
+        raise ValueError("boom on seed 2")
+    return _ok_doc(cell)
+
+
+def _worker_exits_on_seed_2(cell):
+    if cell.seed == 2:
+        os._exit(13)  # hard death: no exception, the process is gone
+    return _ok_doc(cell)
+
+
+def _worker_dies_once(cell):
+    flag = os.environ[_FLAKY_FLAG_ENV]
+    if cell.seed == 2 and not os.path.exists(flag):
+        with open(flag, "w") as fh:
+            fh.write("died")
+        os._exit(13)
+    return _ok_doc(cell)
+
+
+_INLINE_CALLS = {"n": 0}
+
+
+def _worker_flaky_inline(cell):
+    _INLINE_CALLS["n"] += 1
+    if _INLINE_CALLS["n"] == 1:
+        raise RuntimeError("first call dies")
+    return _ok_doc(cell)
+
+
+def _cells(seeds=(1, 2, 3)):
+    return [
+        SweepCell(engine="DCART", workload="IPGEO", seed=s,
+                  n_keys=400, n_ops=1_000)
+        for s in seeds
+    ]
+
+
+class TestWorkerCrashRobustness:
+    def test_persistent_raise_becomes_error_doc_not_exception(self):
+        results = run_cells(_cells(), jobs=2, worker=_worker_raises_on_seed_2)
+        assert len(results) == 3
+        good = [doc for doc in results if not cell_failed(doc)]
+        bad = [doc for doc in results if cell_failed(doc)]
+        assert [doc["cell"]["seed"] for doc in good] == [1, 3]
+        (failure,) = bad
+        assert failure["cell"]["seed"] == 2
+        assert failure["error"]["type"] == "ValueError"
+        assert "boom" in failure["error"]["message"]
+        assert failure["error"]["retried"] is True
+
+    def test_worker_process_death_spares_sibling_cells(self):
+        """A hard os._exit poisons the pool; every healthy cell must
+        still come back (via the fresh-pool retry), and only the dying
+        cell carries an error document."""
+        results = run_cells(_cells(), jobs=2, worker=_worker_exits_on_seed_2)
+        assert len(results) == 3
+        by_seed = {doc["cell"]["seed"]: doc for doc in results}
+        assert not cell_failed(by_seed[1])
+        assert not cell_failed(by_seed[3])
+        assert cell_failed(by_seed[2])
+        assert by_seed[2]["error"]["retried"] is True
+
+    def test_worker_dying_on_first_call_recovers_on_retry(self, tmp_path):
+        os.environ[_FLAKY_FLAG_ENV] = str(tmp_path / "flaky.flag")
+        try:
+            results = run_cells(_cells(), jobs=2, worker=_worker_dies_once)
+        finally:
+            del os.environ[_FLAKY_FLAG_ENV]
+        assert [doc["cell"]["seed"] for doc in results] == [1, 2, 3]
+        assert not any(cell_failed(doc) for doc in results)
+
+    def test_inline_path_retries_once_with_the_same_cell(self):
+        _INLINE_CALLS["n"] = 0
+        (doc,) = run_cells(_cells(seeds=(7,)), jobs=1,
+                           worker=_worker_flaky_inline)
+        assert not cell_failed(doc)
+        assert doc["cell"]["seed"] == 7
+        assert _INLINE_CALLS["n"] == 2  # original + one retry
+
+    def test_error_doc_round_trips_through_summarise(self):
+        cell = _cells(seeds=(2,))[0]
+        doc = error_doc(cell, ValueError("first"), RuntimeError("again"))
+        (row,) = summarise([doc])
+        assert row[0] == "DCART"
+        assert row[3] == "FAILED"
+        assert row[4] == "RuntimeError"

@@ -76,3 +76,44 @@ class TestDegradationCurve:
         assert "IPGEO" in curve.experiment
         rendered = curve.render()
         assert "degradation" in rendered
+
+
+class TestVacuousOutcomes:
+    """Zero-throughput edge cases must not blow up into inf/NaN ratios."""
+
+    @staticmethod
+    def _outcome(baseline_ops, result_ops, n_sous=16):
+        from repro.engines.base import RunResult
+        from repro.faults import FaultSchedule
+
+        def run(n_ops):
+            return RunResult(
+                engine="DCART", workload="IPGEO", platform="fpga",
+                n_ops=n_ops,
+                elapsed_seconds=1e-3 if n_ops else 0.0,
+            )
+
+        return resilience.ChaosOutcome(
+            schedule=FaultSchedule(seed=1),
+            result=run(result_ops),
+            baseline=run(baseline_ops),
+            validation=ValidationReport(),
+            n_sous=n_sous,
+        )
+
+    def test_empty_workload_degradation_is_one_not_inf(self):
+        outcome = self._outcome(baseline_ops=0, result_ops=0)
+        assert outcome.degradation == 1.0
+        assert outcome.proportional_loss == 1.0
+        assert outcome.graceful
+        # summary() must format, not crash, on the vacuous ratios.
+        assert "degradation 1.00x" in outcome.summary()
+
+    def test_genuine_stall_still_reads_as_infinite(self):
+        outcome = self._outcome(baseline_ops=1_000, result_ops=0)
+        assert outcome.degradation == float("inf")
+        assert not outcome.graceful
+
+    def test_zero_sou_machine_is_vacuous(self):
+        outcome = self._outcome(baseline_ops=0, result_ops=0, n_sous=0)
+        assert outcome.proportional_loss == 1.0

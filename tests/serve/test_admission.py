@@ -1,0 +1,115 @@
+"""Admission policies: shed decisions, determinism, factory validation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.admission import (
+    AdmitAll,
+    DropTail,
+    TokenBucket,
+    WatermarkShedding,
+    make_admission,
+)
+
+
+class TestAdmitAll:
+    def test_never_sheds(self):
+        policy = AdmitAll()
+        assert all(policy.admit(cycle, depth)
+                   for cycle in (0, 10**9)
+                   for depth in (0, 10**6))
+
+
+class TestDropTail:
+    def test_admits_below_capacity_drops_at_it(self):
+        policy = DropTail(capacity=4)
+        assert policy.admit(0, 3)
+        assert not policy.admit(0, 4)
+        assert not policy.admit(0, 400)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            DropTail(0)
+
+
+class TestWatermarkShedding:
+    def test_below_watermark_always_admits(self):
+        policy = WatermarkShedding(capacity=100, watermark=0.5, seed=1)
+        assert all(policy.admit(0, depth) for depth in range(49))
+
+    def test_at_capacity_always_drops(self):
+        policy = WatermarkShedding(capacity=100, watermark=0.5, seed=1)
+        assert not any(policy.admit(0, 100) for _ in range(32))
+
+    def test_ramp_sheds_probabilistically_and_replays(self):
+        decisions = []
+        for _ in range(2):
+            policy = WatermarkShedding(capacity=100, watermark=0.5, seed=7)
+            decisions.append([policy.admit(0, 90) for _ in range(200)])
+        assert decisions[0] == decisions[1]  # seeded coin flips replay
+        admitted = sum(decisions[0])
+        assert 0 < admitted < 200  # genuinely probabilistic at depth 90
+
+    def test_reset_restores_the_coin_stream(self):
+        policy = WatermarkShedding(capacity=100, watermark=0.5, seed=3)
+        first = [policy.admit(0, 80) for _ in range(50)]
+        policy.reset()
+        assert [policy.admit(0, 80) for _ in range(50)] == first
+
+    def test_watermark_range(self):
+        for bad in (0.0, 1.0):
+            with pytest.raises(ConfigError):
+                WatermarkShedding(capacity=10, watermark=bad)
+
+
+class TestTokenBucket:
+    def test_burst_credit_then_shed(self):
+        policy = TokenBucket(fill_rate_per_cycle=0.001, burst=3, capacity=100)
+        taken = [policy.admit(0, 0) for _ in range(5)]
+        assert taken == [True, True, True, False, False]
+
+    def test_tokens_accrue_with_simulated_time(self):
+        policy = TokenBucket(fill_rate_per_cycle=0.01, burst=1, capacity=100)
+        assert policy.admit(0, 0)
+        assert not policy.admit(0, 0)  # bucket drained, no time passed
+        assert policy.admit(100, 0)    # 100 cycles * 0.01 = 1 token back
+
+    def test_queue_cap_backstop(self):
+        policy = TokenBucket(fill_rate_per_cycle=1.0, burst=10, capacity=8)
+        assert not policy.admit(0, 8)  # tokens available, queue full anyway
+
+    def test_reset(self):
+        policy = TokenBucket(fill_rate_per_cycle=0.001, burst=2, capacity=10)
+        assert policy.admit(0, 0) and policy.admit(0, 0)
+        assert not policy.admit(0, 0)
+        policy.reset()
+        assert policy.admit(0, 0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TokenBucket(fill_rate_per_cycle=0.0, burst=1, capacity=1)
+        with pytest.raises(ConfigError):
+            TokenBucket(fill_rate_per_cycle=1.0, burst=0, capacity=1)
+        with pytest.raises(ConfigError):
+            TokenBucket(fill_rate_per_cycle=1.0, burst=1, capacity=0)
+
+
+class TestFactory:
+    def test_names_map_to_policies(self):
+        assert isinstance(make_admission("none", 10), AdmitAll)
+        assert isinstance(make_admission("drop-tail", 10), DropTail)
+        assert isinstance(make_admission("watermark", 10), WatermarkShedding)
+        assert isinstance(
+            make_admission(
+                "token-bucket", 10, fill_rate_per_cycle=0.5, burst=4
+            ),
+            TokenBucket,
+        )
+
+    def test_token_bucket_needs_rate_and_burst(self):
+        with pytest.raises(ConfigError):
+            make_admission("token-bucket", 10)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError):
+            make_admission("coin-flip", 10)

@@ -1,0 +1,104 @@
+"""Arrival processes: seeded replay, long-run rate, monotone timelines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.arrivals import (
+    ARRIVAL_NAMES,
+    DiurnalProcess,
+    MmppProcess,
+    PoissonProcess,
+    make_arrivals,
+)
+
+CLOCK_HZ = 230e6
+RATE = 1e6  # ops per simulated second -> mean inter-arrival of 230 cycles
+
+
+class TestContracts:
+    @pytest.mark.parametrize("name", ARRIVAL_NAMES)
+    def test_same_seed_replays_bit_identical(self, name):
+        process = make_arrivals(name)
+        a = process.arrival_cycles(5_000, RATE, CLOCK_HZ, seed=7)
+        b = make_arrivals(name).arrival_cycles(5_000, RATE, CLOCK_HZ, seed=7)
+        assert a.dtype == np.int64
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("name", ARRIVAL_NAMES)
+    def test_different_seeds_differ(self, name):
+        process = make_arrivals(name)
+        a = process.arrival_cycles(2_000, RATE, CLOCK_HZ, seed=1)
+        b = process.arrival_cycles(2_000, RATE, CLOCK_HZ, seed=2)
+        assert not np.array_equal(a, b)
+
+    @pytest.mark.parametrize("name", ARRIVAL_NAMES)
+    def test_timeline_is_monotone_non_decreasing(self, name):
+        arrivals = make_arrivals(name).arrival_cycles(
+            10_000, RATE, CLOCK_HZ, seed=3
+        )
+        assert np.all(np.diff(arrivals) >= 0)
+
+    @pytest.mark.parametrize("name", ARRIVAL_NAMES)
+    def test_long_run_rate_matches_offered_load(self, name):
+        """The stream's empirical rate stays within 10 % of the target.
+
+        This is what makes ``offered_load`` fractions meaningful: an
+        MMPP's bursts and a diurnal swell must average back out to the
+        requested rate over the whole stream.
+        """
+        n = 50_000
+        arrivals = make_arrivals(name).arrival_cycles(n, RATE, CLOCK_HZ, seed=5)
+        span_seconds = arrivals[-1] / CLOCK_HZ
+        empirical = n / span_seconds
+        assert empirical == pytest.approx(RATE, rel=0.10)
+
+    @pytest.mark.parametrize("name", ARRIVAL_NAMES)
+    def test_empty_stream(self, name):
+        out = make_arrivals(name).arrival_cycles(0, RATE, CLOCK_HZ, seed=1)
+        assert out.size == 0 and out.dtype == np.int64
+
+
+class TestBurstiness:
+    def test_mmpp_is_burstier_than_poisson(self):
+        """Same rate, higher inter-arrival variance — the point of MMPP."""
+        n = 40_000
+        poisson = np.diff(
+            PoissonProcess().arrival_cycles(n, RATE, CLOCK_HZ, seed=9)
+        )
+        bursty = np.diff(
+            MmppProcess(burst_factor=8.0).arrival_cycles(
+                n, RATE, CLOCK_HZ, seed=9
+            )
+        )
+        # Coefficient of variation: ~1 for Poisson, > 1 for MMPP.
+        cv_poisson = poisson.std() / poisson.mean()
+        cv_bursty = bursty.std() / bursty.mean()
+        assert cv_bursty > cv_poisson * 1.1
+
+
+class TestValidation:
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            PoissonProcess().arrival_cycles(10, 0.0, CLOCK_HZ, seed=1)
+
+    def test_zero_clock_rejected(self):
+        with pytest.raises(ConfigError):
+            PoissonProcess().arrival_cycles(10, RATE, 0.0, seed=1)
+
+    def test_burst_factor_must_exceed_one(self):
+        with pytest.raises(ConfigError):
+            MmppProcess(burst_factor=1.0)
+
+    def test_mean_phase_ops_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            MmppProcess(mean_phase_ops=0)
+
+    @pytest.mark.parametrize("depth", [0.0, 1.0, -0.5])
+    def test_diurnal_depth_range(self, depth):
+        with pytest.raises(ConfigError):
+            DiurnalProcess(depth=depth)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError):
+            make_arrivals("lunar")

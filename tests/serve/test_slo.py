@@ -1,0 +1,77 @@
+"""SLO accounting: percentiles, windowed p99, recovery-time objective."""
+
+import numpy as np
+
+from repro.serve.slo import SloTracker, latency_percentiles_us, rto_cycles
+
+
+class TestPercentiles:
+    def test_empty_sample_is_zero_not_nan(self):
+        out = latency_percentiles_us(np.zeros(0))
+        assert out == {"p50_us": 0.0, "p99_us": 0.0, "p999_us": 0.0}
+
+    def test_known_distribution(self):
+        lats = np.arange(1, 101, dtype=np.float64)  # 1..100 us
+        out = latency_percentiles_us(lats)
+        assert out["p50_us"] == 50.5
+        assert 99.0 <= out["p99_us"] <= 100.0
+        assert out["p999_us"] <= 100.0
+        assert out["p99_us"] <= out["p999_us"]
+
+
+class TestTracker:
+    def test_completion_order_sorts_by_cycle(self):
+        tracker = SloTracker()
+        tracker.record(30, 3.0)
+        tracker.record(10, 1.0)
+        tracker.record(20, 2.0)
+        cycles, lats = tracker.completion_order()
+        assert cycles.tolist() == [10, 20, 30]
+        assert lats.tolist() == [1.0, 2.0, 3.0]
+
+    def test_windowed_p99_shapes(self):
+        tracker = SloTracker()
+        for i in range(10):
+            tracker.record(i * 100, float(i))
+        starts, ends, p99 = tracker.windowed_p99(4)
+        assert starts.size == ends.size == p99.size == 7
+        assert starts[0] == 0 and ends[0] == 300
+        assert np.all(ends >= starts)
+
+    def test_windowed_p99_too_few_completions(self):
+        tracker = SloTracker()
+        tracker.record(0, 1.0)
+        starts, ends, p99 = tracker.windowed_p99(4)
+        assert starts.size == ends.size == p99.size == 0
+
+
+def _tracker(latencies, spacing=100):
+    tracker = SloTracker()
+    for i, lat in enumerate(latencies):
+        tracker.record(i * spacing, float(lat))
+    return tracker
+
+
+class TestRto:
+    WINDOW = 4
+
+    def test_fault_that_never_dents_the_tail_is_zero(self):
+        tracker = _tracker([1.0] * 40)
+        assert rto_cycles(tracker, 1_000, slo_us=5.0, window_ops=self.WINDOW) == 0
+
+    def test_recovery_is_measured_from_the_fault(self):
+        # 10 good, 10 bad (fault at cycle 1000), then good again.
+        tracker = _tracker([1.0] * 10 + [50.0] * 10 + [1.0] * 20)
+        rto = rto_cycles(tracker, 1_000, slo_us=5.0, window_ops=self.WINDOW)
+        assert rto is not None and rto > 0
+        # First clean window is completions 20..23, ending at cycle 2300.
+        assert rto == 2_300 - 1_000
+
+    def test_never_recovering_is_none(self):
+        tracker = _tracker([1.0] * 10 + [50.0] * 30)
+        assert rto_cycles(tracker, 1_000, slo_us=5.0,
+                          window_ops=self.WINDOW) is None
+
+    def test_too_short_a_run_is_none(self):
+        tracker = _tracker([1.0, 1.0])
+        assert rto_cycles(tracker, 0, slo_us=5.0, window_ops=self.WINDOW) is None

@@ -1,6 +1,8 @@
 """Tests for the command-line interface."""
 
+import glob
 import json
+import os
 
 import pytest
 
@@ -183,9 +185,91 @@ class TestDurabilityCommands:
         assert main(["recover", "--dir", str(tmp_path / "nothing")]) == 1
         assert "recovery failed" in capsys.readouterr().err
 
+    @staticmethod
+    def _truncate(path):
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[: max(1, len(data) // 3)])
+
+    def test_recover_skips_a_truncated_manifest(self, capsys, tmp_path):
+        """A torn newest manifest falls back to the previous checkpoint
+        plus WAL replay — exit 0, not a crash."""
+        directory = str(tmp_path / "state")
+        assert main(self.CKPT + ["--dir", directory]) == 0
+        capsys.readouterr()
+        manifests = sorted(glob.glob(os.path.join(directory, "ckpt-*.json")))
+        assert len(manifests) >= 2
+        self._truncate(manifests[-1])
+        assert main(["recover", "--dir", directory, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["validation_ok"] is True
+        assert data["n_keys"] > 0
+
+    def test_recover_unrecoverable_state_exits_1_with_diagnostic(
+        self, capsys, tmp_path
+    ):
+        """Every manifest truncated and the WAL gone: a clean non-zero
+        exit and a 'recovery failed:' line on stderr, never a traceback."""
+        directory = str(tmp_path / "state")
+        assert main(self.CKPT + ["--dir", directory]) == 0
+        capsys.readouterr()
+        for manifest in glob.glob(os.path.join(directory, "ckpt-*.json")):
+            self._truncate(manifest)
+        os.remove(os.path.join(directory, "wal.log"))
+        assert main(["recover", "--dir", directory]) == 1
+        err = capsys.readouterr().err
+        assert "recovery failed:" in err
+        assert "Traceback" not in err
+
     def test_recover_needs_dir_or_campaign(self, capsys):
         assert main(["recover"]) == 2
         assert "--dir" in capsys.readouterr().err
+
+    def test_serve_table_reports_capacity_and_knee(self, capsys):
+        assert main([
+            "serve", "--keys", "800", "--ops", "4000",
+            "--batch-size", "256", "--load-sweep", "0.5", "1.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "closed-loop capacity" in out
+        assert "p99 us" in out and "RTO cyc" in out
+
+    def test_serve_json_report_schema(self, capsys, tmp_path):
+        path = str(tmp_path / "serve.json")
+        assert main([
+            "serve", "--keys", "800", "--ops", "4000",
+            "--batch-size", "256", "--load-sweep", "0.5",
+            "--json", path,
+        ]) == 0
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["schema"] == "serve-sweep/v1"
+        assert len(data["rows"]) == 1
+        assert data["rows"][0]["completed_ops"] > 0
+
+    def test_serve_crash_fault_reports_rto(self, capsys, tmp_path):
+        path = str(tmp_path / "crash.json")
+        assert main([
+            "serve", "--keys", "1000", "--ops", "40000",
+            "--batch-size", "1024", "--queue-capacity", "2048",
+            "--slo-us", "300", "--load-sweep", "0.1",
+            "--fault", "crash", "--dir", str(tmp_path / "durable"),
+            "--json", path,
+        ]) == 0
+        with open(path) as handle:
+            data = json.load(handle)
+        (row,) = data["rows"]
+        assert row["crashes"] == 1
+        assert row["rto_cycles"] is not None and row["rto_cycles"] > 0
+        assert data["fault_schedule_signature"] is not None
+
+    def test_serve_bad_load_exits_2(self, capsys):
+        assert main([
+            "serve", "--keys", "600", "--ops", "1000",
+            "--load-sweep", "-1.0",
+        ]) == 2
+        assert "bad serving setup" in capsys.readouterr().err
 
     def test_bad_checkpoint_interval_exits_2(self, capsys, tmp_path):
         assert main(self.CKPT[:-1] + ["0", "--dir", str(tmp_path)]) == 2
