@@ -29,7 +29,7 @@ DEFAULT_RULE_SCOPES: Dict[str, Dict[str, List[str]]] = {
         "include": [
             "core/", "art/", "engines/", "workloads/", "faults/",
             "harness/", "durability/", "concurrency/", "memsim/",
-            "serve/",
+            "serve/", "cluster/",
         ],
         "exclude": [],
     },
@@ -44,19 +44,19 @@ DEFAULT_RULE_SCOPES: Dict[str, Dict[str, List[str]]] = {
         "include": [
             "core/", "art/", "engines/", "workloads/", "faults/",
             "harness/", "durability/", "concurrency/", "memsim/",
-            "serve/",
+            "serve/", "cluster/",
         ],
         "exclude": [],
     },
     "COST01": {
         "include": [
             "core/", "engines/", "faults/", "durability/", "harness/",
-            "model/", "serve/",
+            "model/", "serve/", "cluster/",
         ],
         "exclude": ["model/costs.py"],
     },
     "PAR01": {
-        "include": ["harness/parallel.py"],
+        "include": ["harness/parallel.py", "cluster/"],
         "exclude": [],
     },
     "DUR01": {

@@ -247,17 +247,63 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--slo-us", type=float, default=None,
                        help="latency SLO (default: derived from the "
                             "lowest swept load)")
-    serve.add_argument("--fault", choices=("none", "sou-failstop", "crash"),
+    serve.add_argument("--fault",
+                       choices=("none", "sou-failstop", "crash",
+                                "shard-failstop"),
                        default="none",
-                       help="fire a chaos event mid-traffic and report RTO")
+                       help="fire a chaos event mid-traffic and report RTO "
+                            "(shard-failstop needs --shards)")
     serve.add_argument("--fault-batch", type=int, default=9,
                        help="serving batch index the fault lands on")
+    serve.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="serve through an N-shard cluster instead of "
+                            "one accelerator")
+    serve.add_argument("--replicas", type=int, default=1, choices=(0, 1),
+                       help="replicas per shard with --shards (default: 1)")
+    serve.add_argument("--partitioning", choices=("hash", "range"),
+                       default="hash",
+                       help="key-space partitioning with --shards")
+    serve.add_argument("--rebalance", action="store_true",
+                       help="enable the skew-driven bucket rebalancer "
+                            "with --shards")
     serve.add_argument("--dir", default=None, metavar="DIR",
                        help="durability directory for --fault crash "
                             "(default: a fresh temp dir)")
     serve.add_argument("--json", nargs="?", const="-", default=None,
                        metavar="PATH",
                        help="emit the serve-sweep/v1 report as JSON")
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="closed-loop sharded cluster run: routing, replication, "
+             "failover, rebalancing",
+    )
+    cluster.add_argument("--shards", type=int, default=4, metavar="N",
+                         help="number of DCART shards (default: 4)")
+    cluster.add_argument("--replicas", type=int, default=1, choices=(0, 1),
+                         help="replicas per shard (default: 1)")
+    cluster.add_argument("--partitioning", choices=("hash", "range"),
+                         default="hash",
+                         help="key-space partitioning (default: hash)")
+    cluster.add_argument("--rebalance", action="store_true",
+                         help="enable the skew-driven bucket rebalancer")
+    cluster.add_argument("--workload", choices=WORKLOAD_NAMES,
+                         default="IPGEO")
+    cluster.add_argument("--keys", type=int, default=None)
+    cluster.add_argument("--ops", type=int, default=None)
+    cluster.add_argument("--seed", type=int, default=1)
+    cluster.add_argument("--batch-size", type=int, default=1024,
+                         help="cluster batch size (default: 1024)")
+    cluster.add_argument("--fault",
+                         choices=("none", "shard-failstop",
+                                  "replication-slowdown"),
+                         default="none",
+                         help="shard-level fault to inject mid-run")
+    cluster.add_argument("--fault-batch", type=int, default=2,
+                         help="batch index the fault lands on")
+    cluster.add_argument("--json", nargs="?", const="-", default=None,
+                         metavar="PATH",
+                         help="emit the cluster-run/v1 report as JSON")
 
     trace = sub.add_parser(
         "trace", help="run DCART and write a Chrome trace_event timeline"
@@ -690,7 +736,28 @@ def _cmd_serve(args) -> int:
         serve_config = ServeConfig(**overrides)
         schedule = None
         durability_dir = None
-        if args.fault == "sou-failstop":
+        cluster_config = None
+        if args.shards is not None:
+            from repro.cluster import ClusterConfig
+
+            cluster_config = ClusterConfig(
+                n_shards=args.shards,
+                replicas=args.replicas,
+                partitioning=args.partitioning,
+                rebalance=args.rebalance,
+                seed=args.seed,
+            )
+        if args.fault == "shard-failstop":
+            if cluster_config is None:
+                raise ConfigError(
+                    "--fault shard-failstop needs --shards (there is no "
+                    "shard to kill on a single machine)"
+                )
+            schedule = FaultSchedule.fail_shards(
+                1, args.seed, n_shards=args.shards,
+                at_batch=args.fault_batch,
+            )
+        elif args.fault == "sou-failstop":
             schedule = FaultSchedule.fail_sous(
                 2, args.seed, n_sous=accel_config.n_sous,
                 at_batch=args.fault_batch,
@@ -721,6 +788,7 @@ def _cmd_serve(args) -> int:
             accel_config=accel_config,
             schedule=schedule,
             durability_dir=durability_dir,
+            cluster_config=cluster_config,
         )
     except ConfigError as exc:
         print(f"bad serving setup: {exc}", file=sys.stderr)
@@ -773,6 +841,108 @@ def _cmd_serve(args) -> int:
                 "fault (no RTO)", file=sys.stderr,
             )
             return 1
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    from repro.cluster import ClusterConfig, ClusterCoordinator
+    from repro.errors import ConfigError, FaultError
+    from repro.faults import FaultSchedule, ReplicationLinkSlowdown
+    from repro.harness import resilience
+
+    n_keys = args.keys if args.keys is not None else resilience.DEFAULT_KEYS
+    n_ops = args.ops if args.ops is not None else resilience.DEFAULT_OPS
+    try:
+        workload = make_workload(
+            args.workload, n_keys=n_keys, n_ops=n_ops, seed=args.seed
+        )
+        cluster_config = ClusterConfig(
+            n_shards=args.shards,
+            replicas=args.replicas,
+            partitioning=args.partitioning,
+            rebalance=args.rebalance,
+            seed=args.seed,
+        )
+        schedule = None
+        if args.fault == "shard-failstop":
+            schedule = FaultSchedule.fail_shards(
+                1, args.seed, n_shards=args.shards,
+                at_batch=args.fault_batch,
+            )
+        elif args.fault == "replication-slowdown":
+            schedule = FaultSchedule(
+                seed=args.seed,
+                events=(
+                    ReplicationLinkSlowdown(
+                        start_batch=args.fault_batch,
+                        end_batch=args.fault_batch + 4,
+                        shard_id=args.seed % args.shards,
+                        factor=8.0,
+                    ),
+                ),
+            )
+        coordinator = ClusterCoordinator(
+            workload,
+            cluster_config,
+            accel_config=resilience.chaos_config(n_keys),
+            schedule=schedule,
+        )
+        report = coordinator.run(batch_size=args.batch_size)
+        coordinator.validate_trees()
+    except ConfigError as exc:
+        print(f"bad cluster setup: {exc}", file=sys.stderr)
+        return 2
+    except FaultError as exc:
+        print(f"cluster unrecoverable: {exc}", file=sys.stderr)
+        return 1
+
+    if args.json is not None:
+        _emit_json(report, args.json)
+    else:
+        print(
+            f"{args.shards}-shard {args.partitioning} cluster on "
+            f"{workload.name}: {report['completed_ops']}/{report['n_ops']} "
+            f"ops in {report['makespan_cycles']} cycles "
+            f"({report['throughput_mops']:.2f} Mops/s)"
+        )
+        shares = (
+            ("route", report["route_cycles"]),
+            ("shards", report["shard_cycles"]),
+            ("admin", report["admin_cycles"]),
+        )
+        makespan = max(1, report["makespan_cycles"])
+        print("  " + ", ".join(
+            f"{name} {cycles} cyc ({100 * cycles / makespan:.1f}%)"
+            for name, cycles in shares
+        ))
+        for record in report["failovers"]:
+            print(
+                f"  failover shard {record['shard_id']}: died batch "
+                f"{record['died_batch']}, RTO {record['rto_cycles']} cyc, "
+                f"catch-up {record['catchup_ops']} ops, handoff "
+                f"{record['handoff_ops']} ops"
+            )
+        migration = report["migration"]
+        if migration["bucket_moves"]:
+            print(
+                f"  rebalanced {migration['bucket_moves']} buckets "
+                f"({migration['keys_moved']} keys, "
+                f"{migration['cycles']} cyc)"
+            )
+
+    if args.fault == "shard-failstop" and not report["failovers"]:
+        print(
+            "cluster: the fail-stopped shard never failed over",
+            file=sys.stderr,
+        )
+        return 1
+    if report["completed_ops"] != report["n_ops"]:
+        print(
+            f"cluster: {report['n_ops'] - report['completed_ops']} ops "
+            "never completed",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -905,6 +1075,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "stats":

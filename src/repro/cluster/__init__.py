@@ -1,0 +1,38 @@
+"""Sharded scale-out of the DCART accelerator.
+
+One DCART instance is a fixed 16-SOU part; this package scales past its
+roofline by partitioning the key space across N simulated instances
+behind a :class:`ClusterCoordinator` — routing, primary/replica WAL
+shipping, heartbeat failure detection, replica-promotion failover with
+hinted handoff, and skew-driven bucket rebalancing, every mechanism
+billed in cycles through :class:`~repro.model.costs.ClusterCosts` and
+every run a pure function of ``(workload, config, schedule, seed)``.
+"""
+
+from repro.cluster.coordinator import (
+    CLUSTER_SCHEMA,
+    ClusterBatchResult,
+    ClusterConfig,
+    ClusterCoordinator,
+    FailoverRecord,
+)
+from repro.cluster.heartbeat import FailureDetector, ShardState
+from repro.cluster.partition import DEFAULT_BUCKETS, PARTITION_NAMES, Partitioner
+from repro.cluster.rebalancer import BucketMove, SkewRebalancer
+from repro.cluster.replication import ReplicaShard
+
+__all__ = [
+    "BucketMove",
+    "CLUSTER_SCHEMA",
+    "ClusterBatchResult",
+    "ClusterConfig",
+    "ClusterCoordinator",
+    "DEFAULT_BUCKETS",
+    "FailoverRecord",
+    "FailureDetector",
+    "PARTITION_NAMES",
+    "Partitioner",
+    "ReplicaShard",
+    "ShardState",
+    "SkewRebalancer",
+]

@@ -1,0 +1,121 @@
+"""Cycle-driven heartbeat failure detection for the cluster.
+
+Every live shard primary beats once per
+:attr:`~repro.model.costs.ClusterCosts.heartbeat_interval_cycles`; the
+coordinator *samples* beats at batch boundaries (the only points where
+the simulated cluster clock advances), so detection latency is the sum
+of the miss budget and the batch cadence — exactly the honest cost a
+real φ-accrual-style detector pays when the observation loop is coarse.
+
+The per-shard state machine is ``ALIVE → SUSPECT → DEAD``:
+
+* ``SUSPECT`` after :attr:`ClusterCosts.suspect_after_misses` missed
+  intervals — routing still targets the shard (a suspect node is
+  usually just slow; re-homing on suspicion causes flapping);
+* ``DEAD`` after :attr:`ClusterCosts.dead_after_misses` — the
+  coordinator runs failover.  A beat at any point before DEAD resets
+  the shard to ALIVE; DEAD is terminal until a promoted replica
+  re-registers the shard.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Tuple
+
+from repro.errors import SimulationError
+from repro.model.costs import ClusterCosts
+
+
+class ShardState(enum.Enum):
+    ALIVE = "alive"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+
+
+class FailureDetector:
+    """Heartbeat bookkeeping over ``n_shards`` primaries."""
+
+    def __init__(self, n_shards: int, costs: ClusterCosts):
+        self.n_shards = n_shards
+        self.costs = costs
+        self._last_beat = [0] * n_shards
+        self._state = [ShardState.ALIVE] * n_shards
+        #: Shards whose primary has fail-stopped: they emit no beats
+        #: until a replica is promoted and re-registered.
+        self._silenced = [False] * n_shards
+        #: Cycle each DEAD transition was observed at (for RTO math).
+        self.death_detected_at: Dict[int, int] = {}
+        self.suspicions = 0
+
+    # ------------------------------------------------------------------
+
+    def state(self, shard_id: int) -> ShardState:
+        return self._state[shard_id]
+
+    def is_dead(self, shard_id: int) -> bool:
+        return self._state[shard_id] is ShardState.DEAD
+
+    def silence(self, shard_id: int) -> None:
+        """The shard's primary fail-stopped: no more beats from it."""
+        self._silenced[shard_id] = True
+
+    def revive(self, shard_id: int, now_cycle: int) -> None:
+        """A promoted replica took over: the shard beats again."""
+        if not self._silenced[shard_id]:
+            raise SimulationError(
+                f"revive of shard {shard_id} that was never silenced"
+            )
+        self._silenced[shard_id] = False
+        self._state[shard_id] = ShardState.ALIVE
+        self._last_beat[shard_id] = now_cycle
+
+    # ------------------------------------------------------------------
+
+    def observe(self, now_cycle: int) -> List[Tuple[int, ShardState]]:
+        """One sampling round at ``now_cycle``.
+
+        Live shards beat (their last-beat stamp advances to the newest
+        interval boundary at or before ``now_cycle``); silenced shards
+        do not.  Returns the state *transitions* this round, as
+        ``(shard_id, new_state)`` in shard order.
+        """
+        interval = self.costs.heartbeat_interval_cycles
+        transitions: List[Tuple[int, ShardState]] = []
+        for shard_id in range(self.n_shards):
+            if self._state[shard_id] is ShardState.DEAD:
+                continue
+            if not self._silenced[shard_id]:
+                # Beats are emitted on interval boundaries, not at the
+                # sampling instant — detection quantises accordingly.
+                self._last_beat[shard_id] = (
+                    now_cycle // interval
+                ) * interval
+                if self._state[shard_id] is ShardState.SUSPECT:
+                    self._state[shard_id] = ShardState.ALIVE
+                    transitions.append((shard_id, ShardState.ALIVE))
+                continue
+            misses = (now_cycle - self._last_beat[shard_id]) // interval
+            if misses >= self.costs.dead_after_misses:
+                self._state[shard_id] = ShardState.DEAD
+                self.death_detected_at[shard_id] = now_cycle
+                transitions.append((shard_id, ShardState.DEAD))
+            elif (
+                misses >= self.costs.suspect_after_misses
+                and self._state[shard_id] is ShardState.ALIVE
+            ):
+                self._state[shard_id] = ShardState.SUSPECT
+                self.suspicions += 1
+                transitions.append((shard_id, ShardState.SUSPECT))
+        return transitions
+
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        by_state: Dict[str, int] = {}
+        for state in self._state:
+            by_state[state.value] = by_state.get(state.value, 0) + 1
+        parts = ", ".join(
+            f"{count} {name}" for name, count in sorted(by_state.items())
+        )
+        return f"failure detector over {self.n_shards} shards: {parts}"

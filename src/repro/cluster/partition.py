@@ -1,0 +1,132 @@
+"""Key-space partitioning for the sharded cluster.
+
+The coordinator routes every operation through two deterministic maps:
+
+1. ``bucket_of(key)`` — key → one of ``n_buckets`` *virtual buckets*, a
+   pure function of the key bytes (never of cluster state);
+2. ``bucket_map[bucket]`` — bucket → shard, the only mutable routing
+   state.  The rebalancer migrates hot buckets by rewriting single
+   entries of this map (consistent-hashing style: moving one bucket
+   never perturbs any other bucket's placement).
+
+Two bucket functions cover the classic trade-off:
+
+* **hash** — CRC32 of the whole key.  Spreads any key skew (including
+  IPGEO's hot ``0x67`` first octet) uniformly, at the price of
+  destroying key locality (range scans fan out to every shard).
+* **range** — the key's first two bytes, scaled into ``n_buckets``
+  contiguous slices.  Preserves byte-order locality, so a hot prefix
+  lands contiguously — exactly the skew the rebalancer exists to break
+  up.  With the default 4096 buckets each first byte spans 16 buckets,
+  so even a single hot octet is divisible across shards.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+#: Supported bucket functions, in presentation order.
+PARTITION_NAMES: Tuple[str, ...] = ("hash", "range")
+
+#: Default virtual-bucket count: 16 buckets per first-byte value, so a
+#: hot octet can be split across up to 16 shards.
+DEFAULT_BUCKETS = 4096
+
+#: Two-byte prefix domain the range bucket function scales down from.
+_RANGE_DOMAIN = 1 << 16
+
+
+class Partitioner:
+    """Key → bucket → shard routing with migratable buckets."""
+
+    def __init__(
+        self,
+        n_shards: int,
+        mode: str = "hash",
+        n_buckets: int = DEFAULT_BUCKETS,
+    ):
+        if n_shards <= 0:
+            raise ConfigError(f"n_shards must be positive: {n_shards}")
+        if mode not in PARTITION_NAMES:
+            raise ConfigError(
+                f"unknown partitioning {mode!r}; expected one of "
+                f"{PARTITION_NAMES}"
+            )
+        if n_buckets < n_shards:
+            raise ConfigError(
+                f"n_buckets ({n_buckets}) must be >= n_shards ({n_shards})"
+            )
+        self.n_shards = n_shards
+        self.mode = mode
+        self.n_buckets = n_buckets
+        if mode == "hash":
+            # Round-robin striping: adjacent hash buckets on different
+            # shards, |bucket population| within one of equal.
+            self.bucket_map: List[int] = [
+                b % n_shards for b in range(n_buckets)
+            ]
+        else:
+            # Contiguous slices: shard s owns buckets
+            # [s*n/k, (s+1)*n/k) — the classic range-sharding layout.
+            self.bucket_map = [
+                b * n_shards // n_buckets for b in range(n_buckets)
+            ]
+        self.migrations = 0
+
+    # ------------------------------------------------------------------
+
+    def bucket_of(self, key: bytes) -> int:
+        """Virtual bucket of ``key`` — pure function of the key bytes."""
+        if self.mode == "hash":
+            return zlib.crc32(key) % self.n_buckets
+        first = key[0] if len(key) > 0 else 0
+        second = key[1] if len(key) > 1 else 0
+        return ((first << 8) | second) * self.n_buckets // _RANGE_DOMAIN
+
+    def shard_of(self, key: bytes) -> int:
+        """The shard currently owning ``key``."""
+        return self.bucket_map[self.bucket_of(key)]
+
+    def buckets_on(self, shard_id: int) -> List[int]:
+        """Buckets currently mapped to ``shard_id``, ascending."""
+        return [
+            b for b, s in enumerate(self.bucket_map) if s == shard_id
+        ]
+
+    def move_bucket(self, bucket: int, to_shard: int) -> int:
+        """Re-home one bucket; returns the shard it came from."""
+        if not 0 <= bucket < self.n_buckets:
+            raise ConfigError(
+                f"bucket must be in [0, {self.n_buckets}): {bucket}"
+            )
+        if not 0 <= to_shard < self.n_shards:
+            raise ConfigError(
+                f"to_shard must be in [0, {self.n_shards}): {to_shard}"
+            )
+        source = self.bucket_map[bucket]
+        if source != to_shard:
+            self.bucket_map[bucket] = to_shard
+            self.migrations += 1
+        return source
+
+    # ------------------------------------------------------------------
+
+    def split_keys(self, keys: Sequence[bytes]) -> List[List[bytes]]:
+        """Partition a key list into per-shard lists, order-preserving."""
+        out: List[List[bytes]] = [[] for _ in range(self.n_shards)]
+        for key in keys:
+            out[self.shard_of(key)].append(key)
+        return out
+
+    def describe(self) -> str:
+        counts = [0] * self.n_shards
+        for shard in self.bucket_map:
+            counts[shard] += 1
+        owned = ", ".join(f"s{i}:{c}" for i, c in enumerate(counts))
+        return (
+            f"{self.mode} partitioning, {self.n_buckets} buckets over "
+            f"{self.n_shards} shards ({owned}; {self.migrations} migrations)"
+        )

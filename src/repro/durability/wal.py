@@ -218,6 +218,53 @@ def is_loggable(op: Operation) -> bool:
     return op.kind in _OP_TO_CODE
 
 
+def encode_batch_frames(batch_index: int, operations: List[Operation]) -> bytes:
+    """One batch's complete framed record group, as raw log bytes.
+
+    ``BEGIN / op* / COMMIT`` with every record length+CRC framed —
+    byte-identical to what :class:`WriteAheadLog` would append for the
+    batch.  The cluster replication link ships exactly these bytes, so
+    a replica's catch-up replay decodes the same wire format recovery
+    does.  Non-mutating ops are skipped, as in :meth:`log_op` usage.
+    """
+    loggable = [op for op in operations if is_loggable(op)]
+    parts = [frame(encode_record(BeginRecord(batch_index)))]
+    parts.extend(frame(encode_record(op_record(op))) for op in loggable)
+    parts.append(frame(encode_record(CommitRecord(batch_index, len(loggable)))))
+    return b"".join(parts)
+
+
+def decode_frames(data: bytes, offset: int = 0) -> List[WalRecord]:
+    """Strict decode of a framed record stream held in memory.
+
+    Unlike :func:`scan_wal` — which tolerates a torn tail because a
+    crash legitimately tears the on-disk log — an in-memory replication
+    stream has no torn-write failure mode, so any framing or CRC damage
+    here is an invariant violation and raises
+    :class:`~repro.errors.SimulationError`.
+    """
+    records: List[WalRecord] = []
+    while offset < len(data):
+        if offset + _FRAME.size > len(data):
+            raise SimulationError(
+                f"replication stream truncated at byte {offset}"
+            )
+        length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + _FRAME.size
+        if start + length > len(data):
+            raise SimulationError(
+                f"replication stream record overruns buffer at byte {offset}"
+            )
+        payload = data[start : start + length]
+        if zlib.crc32(payload) != crc:
+            raise SimulationError(
+                f"replication stream CRC mismatch at byte {offset}"
+            )
+        records.append(decode_record(payload))
+        offset = start + length
+    return records
+
+
 # ---------------------------------------------------------------------------
 # writer
 # ---------------------------------------------------------------------------

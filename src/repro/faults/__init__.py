@@ -16,6 +16,8 @@ from repro.faults.schedule import (
     CrashFault,
     FaultSchedule,
     HbmThrottle,
+    ReplicationLinkSlowdown,
+    ShardFailStop,
     ShortcutCorruption,
     SouFailStop,
     SouSlowdown,
@@ -27,6 +29,8 @@ __all__ = [
     "FaultInjector",
     "FaultSchedule",
     "HbmThrottle",
+    "ReplicationLinkSlowdown",
+    "ShardFailStop",
     "ShortcutCorruption",
     "SouFailStop",
     "SouSlowdown",

@@ -22,6 +22,16 @@ Five event kinds model the failure modes a deployed accelerator sees:
   at a specific step of the durability protocol (mid-WAL-append,
   pre-commit, torn commit, mid-checkpoint payload/manifest), so the
   crash–recover–validate loop can exercise every recovery path.
+
+Two further kinds target the sharded cluster layer
+(:mod:`repro.cluster`) rather than a single machine:
+
+* :class:`ShardFailStop`    — a whole shard's primary dies at batch *k*
+  (host crash, fabric partition); the coordinator's failure detector
+  and replica failover have to absorb it;
+* :class:`ReplicationLinkSlowdown` — a shard's primary→replica link
+  runs ``factor``× slower over a batch window, growing replication lag
+  and delaying heartbeats (congested or flapping fabric path).
 """
 
 from __future__ import annotations
@@ -189,10 +199,75 @@ class CrashFault:
         return f"batch {self.batch}: crash at {self.point}"
 
 
+@dataclass(frozen=True)
+class ShardFailStop:
+    """Shard ``shard_id``'s primary fail-stops at the start of ``batch``.
+
+    A cluster-level event: the whole DCART instance behind one shard
+    stops responding (host crash, power loss, fabric partition).  Its
+    in-flight batch is lost from the primary — the coordinator queues
+    those ops as hinted handoff — and its heartbeats stop, so the
+    failure detector walks alive → suspect → dead before the replica is
+    promoted.  Ignored (with a warning) by single-machine runs.
+    """
+
+    batch: int
+    shard_id: int
+
+    def __post_init__(self):
+        _check_batch(self.batch)
+        if self.shard_id < 0:
+            raise ConfigError(f"shard_id must be >= 0: {self.shard_id}")
+
+    def describe(self) -> str:
+        return f"batch {self.batch}: shard {self.shard_id} fail-stop"
+
+
+@dataclass(frozen=True)
+class ReplicationLinkSlowdown:
+    """Shard ``shard_id``'s replication link runs ``factor``x slower.
+
+    Over batches ``[start_batch, end_batch]`` the primary→replica WAL
+    stream (and the heartbeats sharing the path) is delayed by
+    ``factor``: replication lag grows by the same multiple and the
+    failure detector may walk the shard into SUSPECT before the window
+    ends — a slow fabric path must *not* trigger a spurious failover.
+    """
+
+    start_batch: int
+    end_batch: int
+    shard_id: int
+    factor: float
+
+    def __post_init__(self):
+        _check_batch(self.start_batch, "start_batch")
+        if self.shard_id < 0:
+            raise ConfigError(f"shard_id must be >= 0: {self.shard_id}")
+        if self.factor < 1.0:
+            raise ConfigError(
+                f"replication slowdown factor must be >= 1: {self.factor}"
+            )
+        if self.end_batch < self.start_batch:
+            raise ConfigError(
+                f"slowdown window inverted: [{self.start_batch}, {self.end_batch}]"
+            )
+
+    def describe(self) -> str:
+        return (
+            f"batches {self.start_batch}-{self.end_batch}: "
+            f"shard {self.shard_id} replication link slowed {self.factor:g}x"
+        )
+
+
 FaultEvent = Union[
     SouFailStop, SouSlowdown, ShortcutCorruption, BufferStorm, HbmThrottle,
-    CrashFault,
+    CrashFault, ShardFailStop, ReplicationLinkSlowdown,
 ]
+
+#: Event kinds scoped to the cluster coordinator, never the per-machine
+#: injector (single-machine runs reject them via ``validate_shards(0)``).
+CLUSTER_EVENTS = (ShardFailStop, ReplicationLinkSlowdown)
+
 
 #: Stable ordering for signature/replay: (first batch, kind name, repr).
 def _event_key(event: FaultEvent) -> Tuple[int, str, str]:
@@ -225,9 +300,17 @@ class FaultSchedule:
     # ------------------------------------------------------------------
 
     def point_events_at(self, batch: int) -> List[FaultEvent]:
-        """Fail-stops, corruptions, and storms due exactly at ``batch``."""
+        """Fail-stops, corruptions, and storms due exactly at ``batch``.
+
+        Machine-level events only: cluster-scope events (shard
+        fail-stops) are the coordinator's to replay, not the per-machine
+        injector's — see :meth:`shard_events_at`.
+        """
         return [
-            e for e in self.events if getattr(e, "batch", None) == batch
+            e
+            for e in self.events
+            if getattr(e, "batch", None) == batch
+            and not isinstance(e, CLUSTER_EVENTS)
         ]
 
     def slowdown_factor(self, batch: int, sou_id: int) -> float:
@@ -260,22 +343,63 @@ class FaultSchedule:
 
     # ------------------------------------------------------------------
 
+    def _validate_targets(self, attr: str, n_units: int, what: str) -> None:
+        """Shared upper-bound check behind the ``validate_*`` family.
+
+        Upper-bound checking needs the machine (or cluster) width, so it
+        cannot live in the event constructors; runs that pair a schedule
+        with a concrete configuration call the public wrappers before
+        arming anything, so out-of-range targets fail fast everywhere.
+        """
+        for event in self.events:
+            target = getattr(event, attr, None)
+            if target is not None and target >= n_units:
+                have = (
+                    f"only {n_units} {what}s" if n_units > 0 else f"no {what}s"
+                )
+                raise ConfigError(
+                    f"fault event targets {what} {target}, but the run has "
+                    f"{have}: {event.describe()}"
+                )
+
     def validate_sous(self, n_sous: int) -> "FaultSchedule":
         """Reject events naming SOUs the target machine does not have.
 
-        Upper-bound checking needs the machine width, so it cannot live
-        in the event constructors; runs that pair a schedule with an
-        :class:`~repro.core.config.AcceleratorConfig` call this before
-        arming the injector.  Returns ``self`` so it chains.
+        Returns ``self`` so it chains.
         """
-        for event in self.events:
-            sou_id = getattr(event, "sou_id", None)
-            if sou_id is not None and sou_id >= n_sous:
-                raise ConfigError(
-                    f"fault event targets SOU {sou_id}, but the machine has "
-                    f"only {n_sous} SOUs: {event.describe()}"
-                )
+        self._validate_targets("sou_id", n_sous, "SOU")
         return self
+
+    def validate_shards(self, n_shards: int) -> "FaultSchedule":
+        """Reject events naming shards the target cluster does not have.
+
+        Single-machine runs call this with ``n_shards=0`` so a schedule
+        carrying cluster-level events (:class:`ShardFailStop`,
+        :class:`ReplicationLinkSlowdown`) is rejected up front instead
+        of silently never firing.  Returns ``self`` so it chains.
+        """
+        self._validate_targets("shard_id", n_shards, "shard")
+        return self
+
+    def shard_events_at(self, batch: int) -> List["ShardFailStop"]:
+        """Shard fail-stops due exactly at ``batch`` (coordinator hook)."""
+        return [
+            e
+            for e in self.events
+            if isinstance(e, ShardFailStop) and e.batch == batch
+        ]
+
+    def replication_factor(self, batch: int, shard_id: int) -> float:
+        """Combined replication-link slowdown on ``shard_id`` at ``batch``."""
+        factor = 1.0
+        for event in self.events:
+            if (
+                isinstance(event, ReplicationLinkSlowdown)
+                and event.shard_id == shard_id
+                and event.start_batch <= batch <= event.end_batch
+            ):
+                factor *= event.factor
+        return factor
 
     def signature(self) -> str:
         """Content hash of the plan — equal seeds give equal signatures."""
@@ -314,6 +438,32 @@ class FaultSchedule:
         return cls(
             seed=seed,
             events=tuple(SouFailStop(at_batch, sou) for sou in sorted(victims)),
+        )
+
+    @classmethod
+    def fail_shards(
+        cls,
+        n_failed: int,
+        seed: int,
+        n_shards: int,
+        at_batch: int = 0,
+    ) -> "FaultSchedule":
+        """Fail-stop ``n_failed`` distinct shard primaries, seed-chosen.
+
+        The cluster counterpart of :meth:`fail_sous`: the victim set is
+        a deterministic sample of the seed, so ``--fault shard-failstop
+        --seed 1`` always kills the same shards at the same batch.
+        """
+        if not 0 <= n_failed <= n_shards:
+            raise ConfigError(
+                f"n_failed must be in [0, n_shards]: {n_failed} of {n_shards}"
+            )
+        victims = Random(seed).sample(range(n_shards), n_failed)
+        return cls(
+            seed=seed,
+            events=tuple(
+                ShardFailStop(at_batch, shard) for shard in sorted(victims)
+            ),
         )
 
     @classmethod

@@ -230,6 +230,96 @@ class DurabilityCosts:
 
 
 @dataclass(frozen=True)
+class ClusterCosts:
+    """Cost model for the sharded multi-accelerator cluster.
+
+    The cluster layer (``repro.cluster``) pairs N DCART instances behind
+    a routing coordinator, with primary/replica pairs kept consistent by
+    shipping the primary's CRC-framed WAL stream over a replication
+    link.  Everything the coordinator bills — routing, replication
+    shipping, heartbeat cadence, failover promotion, WAL-tail catch-up,
+    hinted handoff, and bucket migration — prices through these
+    constants so COST01 keeps every cycle literal in this module.
+
+    Latencies are expressed in DCART cycles (230 MHz unless the shard
+    config overrides the clock): the network numbers model a same-rack
+    RDMA-class fabric (~10 us one-way), and the catch-up replay cost
+    mirrors :attr:`DurabilityCosts.recovery_replay_op_us` at the default
+    clock.
+    """
+
+    #: Coordinator work per routed op: bucket hash + route-table lookup.
+    route_cycles_per_op: int = 2
+    #: Parallel routing lanes at the coordinator (CRC + table lookup is
+    #: embarrassingly parallel; width matches one shard's SOU count so
+    #: routing only bottlenecks once shards outnumber lanes).
+    route_lanes: int = 16
+    #: One-way network hop primary <-> coordinator / primary <-> replica
+    #: (~10 us at 230 MHz).
+    link_latency_cycles: int = 2300
+    #: Replication-link stream bandwidth (WAL frames on the wire).
+    link_bandwidth_gb_s: float = 10.0
+    #: Heartbeat cadence on the cluster cycle clock (~5 us — a few
+    #: serving batches between beats, so a fail-stop is detectable
+    #: within a handful of batch boundaries rather than a whole run).
+    heartbeat_interval_cycles: int = 1150
+    #: Missed heartbeats before a shard turns SUSPECT.
+    suspect_after_misses: int = 2
+    #: Missed heartbeats before a SUSPECT shard is declared DEAD.
+    dead_after_misses: int = 4
+    #: Fixed failover bookkeeping: promote the replica, repoint routes
+    #: (~20 us).
+    promotion_cycles: int = 4600
+    #: Replaying one committed WAL-tail op into the promoted replica
+    #: (DRAM-bound upsert, ~0.25 us — the recovery replay cost).
+    catchup_replay_cycles_per_op: int = 58
+    #: Re-enqueueing one hinted-handoff op onto the promoted primary.
+    handoff_cycles_per_op: int = 6
+    #: Coordinator-visible cost of moving one resident key during a
+    #: rebalancer bucket migration: extract + frame + insert on the
+    #: target, with the bulk transfer DMA-overlapped (the route-table
+    #: swap, not the byte copy, is what serialises against traffic).
+    migration_cycles_per_key: int = 20
+    #: Coordinator-side cost of one rebalance evaluation pass.
+    rebalance_check_cycles: int = 200
+
+    def __post_init__(self) -> None:
+        _positive(
+            route_cycles_per_op=self.route_cycles_per_op,
+            route_lanes=self.route_lanes,
+            link_latency_cycles=self.link_latency_cycles,
+            link_bandwidth_gb_s=self.link_bandwidth_gb_s,
+            heartbeat_interval_cycles=self.heartbeat_interval_cycles,
+            suspect_after_misses=self.suspect_after_misses,
+            dead_after_misses=self.dead_after_misses,
+            promotion_cycles=self.promotion_cycles,
+            catchup_replay_cycles_per_op=self.catchup_replay_cycles_per_op,
+            handoff_cycles_per_op=self.handoff_cycles_per_op,
+            migration_cycles_per_key=self.migration_cycles_per_key,
+            rebalance_check_cycles=self.rebalance_check_cycles,
+        )
+        if self.dead_after_misses <= self.suspect_after_misses:
+            raise ConfigError(
+                "dead_after_misses must exceed suspect_after_misses: "
+                f"{self.dead_after_misses} <= {self.suspect_after_misses}"
+            )
+
+    def route_batch_cycles(self, n_ops: int) -> int:
+        """Coordinator cycles to route an ``n_ops`` batch (ceil over lanes)."""
+        if n_ops <= 0:
+            return 0
+        total = n_ops * self.route_cycles_per_op
+        return -(-total // self.route_lanes)
+
+    def link_transfer_cycles(self, n_bytes: int, clock_hz: float) -> int:
+        """Cycles to ship ``n_bytes`` over the replication link (ceil)."""
+        if n_bytes <= 0:
+            return 0
+        seconds = n_bytes / (self.link_bandwidth_gb_s * 1e9)
+        return max(1, int(seconds * clock_hz) + 1)
+
+
+@dataclass(frozen=True)
 class PowerModel:
     """Average electrical power while executing the workload (watts).
 
@@ -264,6 +354,7 @@ ENGINE_CONTENTION_PENALTY_NS: Dict[str, float] = {
     "SMART": 90.0,
 }
 
+DEFAULT_CLUSTER_COSTS = ClusterCosts()
 DEFAULT_CPU_COSTS = CpuCosts()
 DEFAULT_DURABILITY_COSTS = DurabilityCosts()
 DEFAULT_GPU_COSTS = GpuCosts()

@@ -38,6 +38,14 @@ def _check_rate(rate_ops_per_s: float, clock_hz: float) -> None:
         raise ConfigError(f"clock_hz must be positive: {clock_hz}")
 
 
+def _check_n_ops(n_ops: int) -> None:
+    # Zero ops is a legitimate empty stream; a negative count means the
+    # caller's duration arithmetic went wrong — refuse it loudly rather
+    # than return an empty timeline that silently "serves" nothing.
+    if n_ops < 0:
+        raise ConfigError(f"n_ops must be non-negative: {n_ops}")
+
+
 class ArrivalProcess(abc.ABC):
     """Generates one arrival cycle per operation, seeded and replayable."""
 
@@ -68,7 +76,8 @@ class PoissonProcess(ArrivalProcess):
         self, n_ops: int, rate_ops_per_s: float, clock_hz: float, seed: int
     ) -> np.ndarray:
         _check_rate(rate_ops_per_s, clock_hz)
-        if n_ops <= 0:
+        _check_n_ops(n_ops)
+        if n_ops == 0:
             return np.zeros(0, dtype=np.int64)
         rng = np.random.default_rng(seed)
         mean_cycles = clock_hz / rate_ops_per_s
@@ -103,7 +112,8 @@ class MmppProcess(ArrivalProcess):
         self, n_ops: int, rate_ops_per_s: float, clock_hz: float, seed: int
     ) -> np.ndarray:
         _check_rate(rate_ops_per_s, clock_hz)
-        if n_ops <= 0:
+        _check_n_ops(n_ops)
+        if n_ops == 0:
             return np.zeros(0, dtype=np.int64)
         rng = np.random.default_rng(seed)
         hot_rate = self.burst_factor * rate_ops_per_s
@@ -149,7 +159,8 @@ class DiurnalProcess(ArrivalProcess):
         self, n_ops: int, rate_ops_per_s: float, clock_hz: float, seed: int
     ) -> np.ndarray:
         _check_rate(rate_ops_per_s, clock_hz)
-        if n_ops <= 0:
+        _check_n_ops(n_ops)
+        if n_ops == 0:
             return np.zeros(0, dtype=np.int64)
         rng = np.random.default_rng(seed)
         phase = 2.0 * math.pi * np.arange(n_ops) / n_ops

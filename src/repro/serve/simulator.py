@@ -26,6 +26,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro.cluster import ClusterConfig, ClusterCoordinator
 from repro.core.accelerator import DcartAccelerator
 from repro.core.config import DCARTConfig
 from repro.durability import DurabilityManager, recover
@@ -86,6 +87,21 @@ class ServeConfig:
         if self.rto_window_ops <= 0:
             raise ConfigError(
                 f"rto_window_ops must be positive: {self.rto_window_ops}"
+            )
+        # Checked here, not just when the bursty process is built: a
+        # sweep config carrying a nonsense burst factor should fail at
+        # construction, before any calibration run burns cycles.
+        if self.burst_factor <= 1.0:
+            raise ConfigError(
+                f"burst_factor must exceed 1: {self.burst_factor}"
+            )
+        if not 0.0 < self.watermark <= 1.0:
+            raise ConfigError(
+                f"watermark must be in (0, 1]: {self.watermark}"
+            )
+        if self.checkpoint_every <= 0:
+            raise ConfigError(
+                f"checkpoint_every must be positive: {self.checkpoint_every}"
             )
 
 
@@ -185,6 +201,10 @@ class _DcartBackend:
                 completions.append((op_id, execution.pcu_cycles + cyc))
         return execution.pcu_cycles, execution.service_cycles, completions
 
+    def drain(self, batch_index: int) -> Tuple[int, List[Tuple[int, int]]]:
+        """Single-machine batches never defer completions."""
+        return 0, []
+
     def recover_after_crash(self) -> int:
         """Crash+recover mid-traffic; returns the downtime in cycles.
 
@@ -216,6 +236,57 @@ class _DcartBackend:
             self.accelerator.durability.close()
 
 
+class _ClusterBackend:
+    """Serve through a sharded :class:`ClusterCoordinator`.
+
+    Batch pricing maps onto the serve loop's ``(pcu, service)`` split as
+    ``(routing, shard phase + administration)``: the coordinator's
+    serial routing prelude plays the PCU's role, and failover or
+    rebalance administration extends the service phase of the batch it
+    lands in.  Ops deferred to a dark shard complete in a *later* batch
+    (the one whose failover drains the handoff queue), which is why the
+    serve loop keeps arrival stamps across batches.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        cluster: ClusterConfig,
+        accel_config: DCARTConfig,
+        schedule: Optional[FaultSchedule],
+    ):
+        self.coordinator = ClusterCoordinator(
+            workload,
+            cluster,
+            accel_config=accel_config,
+            schedule=schedule,
+        )
+
+    def execute(
+        self, ops: List[Operation], batch_index: int
+    ) -> Tuple[int, int, List[Tuple[int, int]]]:
+        result = self.coordinator.execute_batch(ops, batch_index)
+        return (
+            result.route_cycles,
+            result.shard_cycles + result.admin_cycles,
+            result.completions,
+        )
+
+    def drain(self, batch_index: int) -> Tuple[int, List[Tuple[int, int]]]:
+        """Spin the cluster clock until pending failovers finish."""
+        result = self.coordinator.drain(batch_index)
+        return result.admin_cycles, result.completions
+
+    def recover_after_crash(self) -> int:  # pragma: no cover - no CrashFault
+        raise SimulationError(
+            "cluster serving handles faults via failover, not "
+            "whole-process crash recovery"
+        )
+
+    def close(self) -> None:
+        self.coordinator.close()
+
+
 class _CalibratedBackend:
     """Serve a baseline engine at its calibrated closed-loop rate.
 
@@ -243,6 +314,9 @@ class _CalibratedBackend:
         service_cycles = int(math.ceil(len(ops) * self.cycles_per_op))
         return 0, service_cycles, completions
 
+    def drain(self, batch_index: int) -> Tuple[int, List[Tuple[int, int]]]:
+        return 0, []
+
     def recover_after_crash(self) -> int:  # pragma: no cover - never crashes
         raise SimulationError("calibrated backend cannot crash")
 
@@ -266,18 +340,33 @@ class ServingSimulator:
         accel_config: Optional[DCARTConfig] = None,
         schedule: Optional[FaultSchedule] = None,
         capacity_ops_per_s: Optional[float] = None,
+        cluster_config: Optional[ClusterConfig] = None,
     ):
         self.workload = workload
         self.serve = serve
         self.engine = engine
         self.schedule = schedule
+        self.cluster_config = cluster_config
         self.accel_config = (
             accel_config if accel_config is not None else DCARTConfig()
         )
+        if cluster_config is not None and engine != "DCART":
+            raise ConfigError(
+                f"cluster serving requires the DCART engine (got {engine!r})"
+            )
         if engine == "DCART":
             self.clock_hz = self.accel_config.costs.clock_hz
             if schedule is not None:
                 schedule.validate_sous(self.accel_config.n_sous)
+                # Shard-level events are only executable with a cluster
+                # behind the server; a single-machine run rejects them
+                # up front instead of silently never firing them.
+                n_shards = (
+                    cluster_config.n_shards
+                    if cluster_config is not None
+                    else 0
+                )
+                schedule.validate_shards(n_shards)
         else:
             if schedule is not None:
                 raise ConfigError(
@@ -296,6 +385,23 @@ class ServingSimulator:
         return self._capacity
 
     def _calibrate(self) -> float:
+        if self.cluster_config is not None:
+            # The cluster's own closed-loop drain: routing, replication
+            # shipping, and rebalance probes all bill into the capacity
+            # the offered-load fractions scale from (no faults — the
+            # capacity is the healthy cluster's).
+            report = ClusterCoordinator(
+                self.workload,
+                self.cluster_config,
+                accel_config=self.accel_config,
+            ).run(batch_size=self.serve.batch_size)
+            rate = float(report["throughput_mops"]) * 1e6
+            if rate <= 0:
+                raise ConfigError(
+                    "cannot calibrate cluster serving capacity: "
+                    "closed-loop throughput is zero"
+                )
+            return rate
         if self.engine == "DCART":
             result = DcartAccelerator(config=self.accel_config).run(
                 self.workload
@@ -332,6 +438,13 @@ class ServingSimulator:
         )
 
     def _open_backend(self, durability_dir: Optional[str]):
+        if self.cluster_config is not None:
+            return _ClusterBackend(
+                self.workload,
+                self.cluster_config,
+                self.accel_config,
+                self.schedule,
+            )
         if self.engine != "DCART":
             return _CalibratedBackend(self.capacity_ops_per_s(), self.clock_hz)
         injector = (
@@ -400,34 +513,20 @@ class ServingSimulator:
         # (service start cycle, n_ops); drained as arrivals pass starts.
         backlog: Deque[Tuple[int, int]] = deque()
         backlog_ops = 0
+        # Arrival stamps of admitted-but-uncompleted ops.  Kept across
+        # batches: a cluster backend defers ops routed to a dark shard
+        # and completes them in the batch whose failover drains the
+        # handoff queue, so a completion may reference an earlier
+        # batch's op.  Entries pop when the op completes.
+        arrival_by_id: Dict[int, int] = {}
 
-        def execute(batch: FormedBatch) -> None:
-            nonlocal server_free, batch_index, n_batches, deadline_batches
-            nonlocal lost, completed, crashes, downtime_cycles, backlog_ops
-            start = max(server_free, batch.close_cycle)
-            if batch_index in pending_faults:
-                pending_faults.discard(batch_index)
-                fault_cycles.append(start)
-            try:
-                pcu, service, completions = backend.execute(
-                    batch.ops, batch_index
-                )
-            except SimulatedCrash:
-                crashes += 1
-                lost += len(batch.ops)
-                down = backend.recover_after_crash()
-                downtime_cycles += down
-                server_free = start + down
-                n_batches += 1
-                batch_index += 1
-                return
-            arrival_by_id = dict(
-                zip((op.op_id for op in batch.ops), batch.arrival_cycles)
-            )
-            end = start + pcu + service
+        def record_completions(
+            completions: List[Tuple[int, int]], start: int
+        ) -> None:
+            nonlocal completed
             for op_id, offset in completions:
                 completion = start + offset
-                arrived = arrival_by_id.get(op_id)
+                arrived = arrival_by_id.pop(op_id, None)
                 if arrived is None:  # pragma: no cover - SOUs report all ops
                     continue
                 tracker.record(
@@ -435,6 +534,34 @@ class ServingSimulator:
                     (completion - arrived) / self.clock_hz * 1e6,
                 )
                 completed += 1
+
+        def execute(batch: FormedBatch) -> None:
+            nonlocal server_free, batch_index, n_batches, deadline_batches
+            nonlocal lost, crashes, downtime_cycles, backlog_ops
+            start = max(server_free, batch.close_cycle)
+            if batch_index in pending_faults:
+                pending_faults.discard(batch_index)
+                fault_cycles.append(start)
+            arrival_by_id.update(
+                zip((op.op_id for op in batch.ops), batch.arrival_cycles)
+            )
+            try:
+                pcu, service, completions = backend.execute(
+                    batch.ops, batch_index
+                )
+            except SimulatedCrash:
+                crashes += 1
+                lost += len(batch.ops)
+                for op in batch.ops:
+                    arrival_by_id.pop(op.op_id, None)
+                down = backend.recover_after_crash()
+                downtime_cycles += down
+                server_free = start + down
+                n_batches += 1
+                batch_index += 1
+                return
+            end = start + pcu + service
+            record_completions(completions, start)
             server_free = end
             n_batches += 1
             if batch.closed_by_deadline:
@@ -464,6 +591,13 @@ class ServingSimulator:
         tail = former.flush(last_arrival)
         if tail is not None:
             execute(tail)
+        # A shard that died near the end of the stream may still be
+        # awaiting failover; spin the cluster forward so its handoff
+        # ops complete rather than silently vanish.
+        drain_cycles, drain_completions = backend.drain(batch_index)
+        if drain_completions:
+            record_completions(drain_completions, server_free)
+        server_free += drain_cycles
         backend.close()
 
         percentiles = tracker.percentiles()
@@ -521,6 +655,7 @@ def load_sweep(
     schedule: Optional[FaultSchedule] = None,
     durability_dir: Optional[str] = None,
     capacity_ops_per_s: Optional[float] = None,
+    cluster_config: Optional[ClusterConfig] = None,
 ) -> Dict[str, object]:
     """Sweep offered load; emit the ``serve-sweep/v1`` report dict.
 
@@ -546,6 +681,7 @@ def load_sweep(
         accel_config=accel_config,
         schedule=schedule,
         capacity_ops_per_s=capacity_ops_per_s,
+        cluster_config=cluster_config,
     )
     capacity = simulator.capacity_ops_per_s()
 
@@ -581,6 +717,16 @@ def load_sweep(
         "deadline_us": serve.deadline_us,
         "queue_capacity": serve.queue_capacity,
         "capacity_ops_per_s": capacity,
+        "cluster": (
+            {
+                "n_shards": cluster_config.n_shards,
+                "replicas": cluster_config.replicas,
+                "partitioning": cluster_config.partitioning,
+                "rebalance": cluster_config.rebalance,
+            }
+            if cluster_config is not None
+            else None
+        ),
         "slo_us": slo_us,
         "knee_load": knee_load,
         "fault_schedule_signature": (

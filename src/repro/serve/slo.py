@@ -104,23 +104,26 @@ def rto_cycles(
 
     Cycles from the fault until the first sliding window of
     ``window_ops`` completions that (a) consists entirely of ops
-    completed at or after the fault and (b) has p99 within ``slo_us``.
-    ``None`` when no such window exists — the run never recovered
-    (or ended before one clean post-fault window accumulated).
-    ``0`` when the very first post-fault window is already in SLO:
-    the fault did not dent the tail.
+    completed at or after the fault and (b) has p99 within ``slo_us``,
+    *after the tail's last post-fault SLO breach*.  The dent may lag
+    the fault stamp — a shard fail-stop only hurts the tail once the
+    failure detector fires and deferred ops drain — so recovery is
+    measured past every breach, not just the first clean window.
+    ``None`` when the run never recovered (or ended before one clean
+    post-fault window accumulated).  ``0`` when no post-fault window
+    ever breached: the fault did not dent the tail.
     """
     starts, ends, p99 = tracker.windowed_p99(window_ops)
     if starts.size == 0:
         return None
     post = starts >= fault_cycle
-    ok = post & (p99 <= slo_us)
-    idx = np.flatnonzero(ok)
-    if idx.size == 0:
+    if not post.any():
         return None
-    first = int(idx[0])
-    post_idx = np.flatnonzero(post)
-    if first == int(post_idx[0]):
-        # Never left SLO on post-fault traffic.
+    ok = post & (p99 <= slo_us)
+    breached = np.flatnonzero(post & (p99 > slo_us))
+    if breached.size == 0:
         return 0
-    return max(0, int(ends[first]) - fault_cycle)
+    recovered = np.flatnonzero(ok & (np.arange(p99.size) > breached[-1]))
+    if recovered.size == 0:
+        return None
+    return max(0, int(ends[recovered[0]]) - fault_cycle)

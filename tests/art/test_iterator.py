@@ -107,6 +107,49 @@ class TestInvalidation:
             cursor.key
 
 
+class TestDeleteInteraction:
+    def test_iteration_after_delete_skips_removed_keys(self, tree):
+        for v in range(0, 100, 2):  # drop the lower half
+            tree.delete(encode_u64(v))
+        got = [v for _, v in TreeCursor(tree).first()]
+        assert got == list(range(100, 200, 2))
+
+    def test_delete_invalidates_open_cursor(self, tree):
+        cursor = TreeCursor(tree).first()
+        tree.delete(encode_u64(100))
+        assert cursor.invalidated()
+        with pytest.raises(TreeError):
+            cursor.step()
+
+    def test_delete_everything_then_iterate(self, tree):
+        for v in range(0, 200, 2):
+            tree.delete(encode_u64(v))
+        cursor = TreeCursor(tree).first()
+        assert not cursor.valid
+        assert list(cursor) == []
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=2**16).map(encode_u64),
+            unique=True,
+            min_size=2,
+        ),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sorted_after_random_deletes(self, keys, data):
+        tree = AdaptiveRadixTree()
+        for key in keys:
+            tree.insert(key, None)
+        doomed = data.draw(
+            st.lists(st.sampled_from(keys), unique=True, max_size=len(keys) - 1)
+        )
+        for key in doomed:
+            tree.delete(key)
+        survivors = sorted(set(keys) - set(doomed))
+        assert [k for k, _ in TreeCursor(tree).first()] == survivors
+
+
 class TestMerge:
     def test_two_trees_merge_sorted(self):
         evens, odds = AdaptiveRadixTree(), AdaptiveRadixTree()

@@ -1,0 +1,98 @@
+"""Golden cluster determinism: same config + seed -> bit-identical report.
+
+A cluster run layers seeded machinery — routing, replication-lag
+jitter, heartbeat sampling, failover, bucket migration — on top of the
+single-box simulator, and every layer must stay a pure function of
+``(workload, config, schedule, seed)``.  ``data/golden_cluster_run.json``
+pins the complete ``cluster-run/v1`` report of one faulted, rebalanced
+run; the test replays it and compares every field.
+
+Regenerate (only when an *intentional* semantic change lands):
+
+    PYTHONPATH=src python tests/cluster/test_golden_determinism.py --regenerate
+"""
+
+import json
+import os
+import sys
+
+from repro.cluster import ClusterConfig, ClusterCoordinator
+from repro.faults import FaultSchedule, ReplicationLinkSlowdown, ShardFailStop
+from repro.harness.resilience import chaos_config
+from repro.workloads import make_workload
+
+GOLDEN = os.path.join(
+    os.path.dirname(__file__), "data", "golden_cluster_run.json"
+)
+
+#: Small but eventful: 8 batches over 4 shards with one mid-run shard
+#: death (detection, promotion, catch-up, handoff) plus a slowed
+#: replication link and periodic rebalance rounds.
+N_KEYS = 800
+N_OPS = 8_000
+SEED = 7
+BATCH_SIZE = 1_024
+
+
+def golden_run():
+    """The seeded cluster run the golden file images."""
+    workload = make_workload("IPGEO", n_keys=N_KEYS, n_ops=N_OPS, seed=SEED)
+    schedule = FaultSchedule(
+        seed=SEED,
+        events=(
+            ShardFailStop(2, 1),
+            ReplicationLinkSlowdown(0, 3, 3, factor=8.0),
+        ),
+    )
+    coordinator = ClusterCoordinator(
+        workload,
+        cluster=ClusterConfig(
+            n_shards=4,
+            replicas=1,
+            partitioning="range",
+            rebalance=True,
+            rebalance_every=2,
+            seed=SEED,
+        ),
+        accel_config=chaos_config(N_KEYS, batch_size=BATCH_SIZE),
+        schedule=schedule,
+    )
+    report = coordinator.run(batch_size=BATCH_SIZE)
+    coordinator.validate_trees()
+    return report
+
+
+class TestGoldenClusterDeterminism:
+    def test_run_matches_golden_exactly(self):
+        with open(GOLDEN) as handle:
+            golden = json.load(handle)
+        report = json.loads(json.dumps(golden_run()))
+        # Field-by-field first, so a mismatch names its field …
+        for field in golden:
+            assert report[field] == golden[field], (
+                f"{field} diverged from golden"
+            )
+        # … then whole-document, so no field can be silently added.
+        assert report == golden
+
+    def test_rerun_is_self_identical(self):
+        assert golden_run() == golden_run()
+
+
+def _regenerate():
+    report = golden_run()
+    with open(GOLDEN, "w") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+    print(f"wrote {GOLDEN}")
+    print(
+        f"  {report['completed_ops']} ops, "
+        f"{len(report['failovers'])} failovers, "
+        f"{report['migration']['bucket_moves']} bucket moves"
+    )
+
+
+if __name__ == "__main__":
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

@@ -1,0 +1,98 @@
+"""FailureDetector: alive -> suspect -> dead, and back via revive."""
+
+import pytest
+
+from repro.cluster import FailureDetector, ShardState
+from repro.errors import SimulationError
+from repro.model.costs import DEFAULT_CLUSTER_COSTS
+
+COSTS = DEFAULT_CLUSTER_COSTS
+INTERVAL = COSTS.heartbeat_interval_cycles
+
+
+def _after(misses: int) -> int:
+    """A sampling instant ``misses`` whole intervals past cycle 0."""
+    return INTERVAL * misses + 1
+
+
+class TestStateMachine:
+    def test_live_shards_stay_alive_forever(self):
+        detector = FailureDetector(4, COSTS)
+        for step in range(1, 20):
+            assert detector.observe(step * INTERVAL * 3) == []
+        assert all(
+            detector.state(s) is ShardState.ALIVE for s in range(4)
+        )
+
+    def test_silenced_shard_walks_suspect_then_dead(self):
+        detector = FailureDetector(2, COSTS)
+        detector.silence(1)
+        assert detector.observe(_after(COSTS.suspect_after_misses)) == [
+            (1, ShardState.SUSPECT)
+        ]
+        assert detector.suspicions == 1
+        transitions = detector.observe(_after(COSTS.dead_after_misses))
+        assert transitions == [(1, ShardState.DEAD)]
+        assert detector.is_dead(1)
+        assert not detector.is_dead(0)
+
+    def test_detection_is_not_instant(self):
+        detector = FailureDetector(1, COSTS)
+        detector.silence(0)
+        assert detector.observe(
+            _after(COSTS.suspect_after_misses - 1)
+        ) == []
+        assert detector.state(0) is ShardState.ALIVE
+
+    def test_dead_is_terminal_until_revive(self):
+        detector = FailureDetector(1, COSTS)
+        detector.silence(0)
+        now = _after(COSTS.dead_after_misses)
+        detector.observe(now)
+        assert detector.observe(now + 50 * INTERVAL) == []
+        assert detector.is_dead(0)
+
+    def test_death_cycle_recorded_for_rto(self):
+        detector = FailureDetector(1, COSTS)
+        detector.silence(0)
+        now = _after(COSTS.dead_after_misses)
+        detector.observe(now)
+        assert detector.death_detected_at[0] == now
+
+
+class TestRevive:
+    def test_revive_restores_beats(self):
+        detector = FailureDetector(1, COSTS)
+        detector.silence(0)
+        now = _after(COSTS.dead_after_misses)
+        detector.observe(now)
+        detector.revive(0, now)
+        assert detector.state(0) is ShardState.ALIVE
+        # And it stays alive: the promoted replica beats again.
+        assert detector.observe(now + 10 * INTERVAL) == []
+
+    def test_revive_without_silence_rejected(self):
+        detector = FailureDetector(2, COSTS)
+        with pytest.raises(SimulationError):
+            detector.revive(0, 100)
+
+
+class TestRecoveryFromSuspicion:
+    def test_beat_resets_suspect_to_alive(self):
+        # A slow shard (e.g. behind a replication-link fault) that
+        # resumes beating must not be failed over.
+        detector = FailureDetector(1, COSTS)
+        detector.silence(0)
+        detector.observe(_after(COSTS.suspect_after_misses))
+        assert detector.state(0) is ShardState.SUSPECT
+        detector._silenced[0] = False  # the primary comes back
+        transitions = detector.observe(_after(COSTS.suspect_after_misses + 1))
+        assert transitions == [(0, ShardState.ALIVE)]
+
+
+def test_describe_counts_states():
+    detector = FailureDetector(3, COSTS)
+    detector.silence(2)
+    detector.observe(_after(COSTS.dead_after_misses))
+    assert "2 alive" in detector.describe()
+    assert "1 dead" in detector.describe()

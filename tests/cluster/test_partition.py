@@ -1,0 +1,112 @@
+"""Partitioner: deterministic routing, migratable buckets."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import DEFAULT_BUCKETS, Partitioner
+from repro.errors import ConfigError
+
+
+class TestConstruction:
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ConfigError):
+            Partitioner(0)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            Partitioner(4, mode="rendezvous")
+
+    def test_fewer_buckets_than_shards_rejected(self):
+        with pytest.raises(ConfigError):
+            Partitioner(8, n_buckets=4)
+
+    @pytest.mark.parametrize("mode", ["hash", "range"])
+    def test_every_bucket_owned_by_a_valid_shard(self, mode):
+        part = Partitioner(5, mode=mode, n_buckets=64)
+        assert len(part.bucket_map) == 64
+        assert all(0 <= s < 5 for s in part.bucket_map)
+
+    @pytest.mark.parametrize("mode", ["hash", "range"])
+    def test_initial_layout_is_balanced(self, mode):
+        part = Partitioner(4, mode=mode, n_buckets=64)
+        counts = [len(part.buckets_on(s)) for s in range(4)]
+        assert max(counts) - min(counts) <= 1
+
+    def test_range_layout_is_contiguous(self):
+        part = Partitioner(4, mode="range", n_buckets=64)
+        # Owners along the bucket axis must be non-decreasing.
+        assert part.bucket_map == sorted(part.bucket_map)
+
+
+class TestRouting:
+    def test_bucket_of_is_pure(self):
+        part = Partitioner(4)
+        assert part.bucket_of(b"abc") == part.bucket_of(b"abc")
+        assert Partitioner(8).bucket_of(b"abc") == part.bucket_of(b"abc")
+
+    def test_range_mode_groups_by_prefix(self):
+        part = Partitioner(4, mode="range")
+        # Same two-byte prefix -> same bucket regardless of suffix.
+        assert part.bucket_of(b"\x10\x20aaaa") == part.bucket_of(b"\x10\x20zz")
+        # First-byte order is preserved at bucket granularity.
+        assert part.bucket_of(b"\x01") < part.bucket_of(b"\xf0")
+
+    def test_range_mode_short_keys(self):
+        part = Partitioner(4, mode="range")
+        assert part.bucket_of(b"") == 0
+        assert 0 <= part.bucket_of(b"\xff") < DEFAULT_BUCKETS
+
+    def test_split_keys_respects_shard_of(self):
+        part = Partitioner(3, n_buckets=12)
+        keys = [bytes([i, i ^ 0x5A]) for i in range(50)]
+        split = part.split_keys(keys)
+        assert sorted(k for shard in split for k in shard) == sorted(keys)
+        for shard_id, shard_keys in enumerate(split):
+            assert all(part.shard_of(k) == shard_id for k in shard_keys)
+
+
+class TestMigration:
+    def test_move_bucket_rehomes_and_counts(self):
+        part = Partitioner(4, n_buckets=16)
+        bucket = part.buckets_on(0)[0]
+        assert part.move_bucket(bucket, 3) == 0
+        assert part.bucket_map[bucket] == 3
+        assert part.migrations == 1
+
+    def test_noop_move_not_counted(self):
+        part = Partitioner(4, n_buckets=16)
+        bucket = part.buckets_on(2)[0]
+        assert part.move_bucket(bucket, 2) == 2
+        assert part.migrations == 0
+
+    def test_move_only_perturbs_one_bucket(self):
+        part = Partitioner(4, n_buckets=16)
+        before = list(part.bucket_map)
+        part.move_bucket(5, (before[5] + 1) % 4)
+        diffs = [b for b in range(16) if part.bucket_map[b] != before[b]]
+        assert diffs == [5]
+
+    def test_move_bounds_validated(self):
+        part = Partitioner(4, n_buckets=16)
+        with pytest.raises(ConfigError):
+            part.move_bucket(16, 0)
+        with pytest.raises(ConfigError):
+            part.move_bucket(0, 4)
+
+    def test_describe_mentions_migrations(self):
+        part = Partitioner(2, n_buckets=8)
+        part.move_bucket(0, 1)
+        assert "1 migrations" in part.describe()
+
+
+@given(
+    st.sampled_from(["hash", "range"]),
+    st.lists(st.binary(min_size=1, max_size=12), min_size=1, max_size=60),
+)
+@settings(max_examples=60, deadline=None)
+def test_every_key_routes_to_exactly_one_shard(mode, keys):
+    part = Partitioner(4, mode=mode, n_buckets=32)
+    split = part.split_keys(keys)
+    assert sum(len(s) for s in split) == len(keys)
+    for key in keys:
+        assert 0 <= part.shard_of(key) < 4

@@ -1,0 +1,100 @@
+"""Scale-out acceptance: 8 shards with the rebalancer on beat 1 by 3x.
+
+IPGEO is the adversarial case for scale-out — its hot first octet
+concentrates both keys and traffic — so it is the workload the shape
+test runs.  Hash partitioning spreads the skew; the rebalancer stays
+armed (and must not thrash an already-balanced cluster back below the
+bar).  A second test pins the rebalancer's actual job: on range
+partitioning, where the hot octet lands contiguously, enabling it must
+recover a large fraction of the lost throughput.
+"""
+
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterCoordinator
+from repro.harness.resilience import chaos_config
+from repro.workloads import make_workload
+
+N_KEYS = 2_000
+N_OPS = 20_000
+BATCH = 2_048
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload("IPGEO", n_keys=N_KEYS, n_ops=N_OPS, seed=SEED)
+
+
+def _throughput(workload, **cluster_kwargs):
+    coordinator = ClusterCoordinator(
+        workload,
+        cluster=ClusterConfig(seed=SEED, **cluster_kwargs),
+        accel_config=chaos_config(N_KEYS, batch_size=BATCH),
+    )
+    report = coordinator.run(batch_size=BATCH)
+    assert report["completed_ops"] == N_OPS
+    return float(report["throughput_mops"]), report
+
+
+class TestScaleOut:
+    def test_eight_shards_with_rebalancer_beat_one_by_3x(self, workload):
+        single, _ = _throughput(workload, n_shards=1)
+        sharded, report = _throughput(
+            workload, n_shards=8, rebalance=True
+        )
+        assert sharded >= 3.0 * single, (
+            f"8-shard: {sharded:.1f} Mops vs single {single:.1f} Mops "
+            f"({sharded / single:.2f}x < 3x)"
+        )
+        # The rebalancer ran its rounds; any moves it made were billed.
+        assert report["migration"]["rounds"] > 0
+        if report["migration"]["keys_moved"]:
+            assert report["migration"]["cycles"] > 0
+
+    def test_rebalancer_recovers_range_partitioning_skew(self, workload):
+        skewed, skewed_report = _throughput(
+            workload, n_shards=8, partitioning="range"
+        )
+        rebalanced, report = _throughput(
+            workload,
+            n_shards=8,
+            partitioning="range",
+            rebalance=True,
+            rebalance_every=2,
+        )
+        # Migration happened, was billed, and still paid for itself.
+        assert report["migration"]["keys_moved"] > 0
+        assert report["migration"]["cycles"] > 0
+        assert rebalanced > 1.25 * skewed, (
+            f"rebalanced {rebalanced:.1f} Mops vs skewed {skewed:.1f}"
+        )
+        # And it genuinely flattened the hot shard, not just re-billed:
+        assert report["shard_cycles"] < skewed_report["shard_cycles"]
+
+    def test_rebalanced_cluster_trees_stay_exact(self, workload):
+        coordinator = ClusterCoordinator(
+            workload,
+            cluster=ClusterConfig(
+                n_shards=8,
+                partitioning="range",
+                rebalance=True,
+                rebalance_every=2,
+                seed=SEED,
+            ),
+            accel_config=chaos_config(N_KEYS, batch_size=BATCH),
+        )
+        coordinator.run(batch_size=BATCH)
+        coordinator.validate_trees()
+        # Every loaded key is on exactly the shard the (migrated)
+        # partitioner says it should be, primary and replica alike.
+        for shard in coordinator.shards:
+            for key, _ in shard.tree.items():
+                assert (
+                    coordinator.partitioner.shard_of(key) == shard.shard_id
+                )
+            if shard.replica is not None:
+                shard.replica.catch_up()
+                assert dict(shard.replica.tree.items()) == dict(
+                    shard.tree.items()
+                )

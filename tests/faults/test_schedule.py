@@ -8,10 +8,13 @@ from repro.faults import (
     CrashFault,
     FaultSchedule,
     HbmThrottle,
+    ReplicationLinkSlowdown,
+    ShardFailStop,
     ShortcutCorruption,
     SouFailStop,
     SouSlowdown,
 )
+from repro.faults.schedule import CLUSTER_EVENTS
 from repro.faults.schedule import CRASH_POINTS
 
 
@@ -206,3 +209,79 @@ class TestInputValidation:
     def test_validation_does_not_change_signatures(self):
         schedule = FaultSchedule(seed=4, events=(SouFailStop(2, 1),))
         assert schedule.validate_sous(8).signature() == schedule.signature()
+
+
+class TestClusterEvents:
+    """Shard-level events: coordinator-scoped, rejected elsewhere."""
+
+    def test_shard_failstop_validation(self):
+        with pytest.raises(ConfigError):
+            ShardFailStop(-1, 0)
+        with pytest.raises(ConfigError):
+            ShardFailStop(0, -1)
+
+    def test_replication_slowdown_validation(self):
+        with pytest.raises(ConfigError):
+            ReplicationLinkSlowdown(0, 2, 0, factor=0.5)
+        with pytest.raises(ConfigError):
+            ReplicationLinkSlowdown(3, 1, 0, factor=2.0)
+        with pytest.raises(ConfigError):
+            ReplicationLinkSlowdown(0, 2, -1, factor=2.0)
+
+    def test_validate_shards_accepts_in_range_and_chains(self):
+        schedule = FaultSchedule(
+            seed=1,
+            events=(ShardFailStop(2, 3), ReplicationLinkSlowdown(0, 4, 1, 8.0)),
+        )
+        assert schedule.validate_shards(4) is schedule
+
+    def test_validate_shards_rejects_out_of_range(self):
+        schedule = FaultSchedule(seed=1, events=(ShardFailStop(0, 4),))
+        with pytest.raises(ConfigError, match="shard"):
+            schedule.validate_shards(4)
+
+    def test_single_machine_rejects_cluster_events(self):
+        # n_shards=0: a non-cluster run must refuse shard-level events
+        # rather than silently never fire them.
+        schedule = FaultSchedule(seed=1, events=(ShardFailStop(0, 0),))
+        with pytest.raises(ConfigError):
+            schedule.validate_shards(0)
+
+    def test_cluster_events_excluded_from_point_events(self):
+        schedule = FaultSchedule(
+            seed=1,
+            events=(ShardFailStop(2, 0), SouFailStop(2, 1)),
+        )
+        points = schedule.point_events_at(2)
+        assert all(not isinstance(e, CLUSTER_EVENTS) for e in points)
+        assert any(isinstance(e, SouFailStop) for e in points)
+
+    def test_shard_events_at_exact_batch(self):
+        schedule = FaultSchedule(
+            seed=1, events=(ShardFailStop(2, 0), ShardFailStop(5, 1))
+        )
+        assert [e.shard_id for e in schedule.shard_events_at(2)] == [0]
+        assert schedule.shard_events_at(3) == []
+
+    def test_replication_factor_windows_compound(self):
+        schedule = FaultSchedule(
+            seed=1,
+            events=(
+                ReplicationLinkSlowdown(1, 3, 0, factor=2.0),
+                ReplicationLinkSlowdown(2, 4, 0, factor=3.0),
+                ReplicationLinkSlowdown(2, 4, 1, factor=5.0),
+            ),
+        )
+        assert schedule.replication_factor(0, 0) == 1.0
+        assert schedule.replication_factor(1, 0) == 2.0
+        assert schedule.replication_factor(2, 0) == 6.0
+        assert schedule.replication_factor(4, 1) == 5.0
+
+    def test_fail_shards_deterministic_and_bounded(self):
+        a = FaultSchedule.fail_shards(2, seed=9, n_shards=8, at_batch=3)
+        b = FaultSchedule.fail_shards(2, seed=9, n_shards=8, at_batch=3)
+        assert a.signature() == b.signature()
+        assert len(a.events) == 2
+        assert all(e.batch == 3 for e in a.events)
+        with pytest.raises(ConfigError):
+            FaultSchedule.fail_shards(9, seed=1, n_shards=8)

@@ -82,6 +82,18 @@ class TestValidation:
         with pytest.raises(ConfigError):
             PoissonProcess().arrival_cycles(10, 0.0, CLOCK_HZ, seed=1)
 
+    @pytest.mark.parametrize("name", ARRIVAL_NAMES)
+    def test_negative_rate_rejected(self, name):
+        with pytest.raises(ConfigError):
+            make_arrivals(name).arrival_cycles(10, -1.0, CLOCK_HZ, seed=1)
+
+    @pytest.mark.parametrize("name", ARRIVAL_NAMES)
+    def test_negative_n_ops_rejected(self, name):
+        # A negative count means the caller's duration arithmetic went
+        # wrong; it must fail loudly, not return an empty timeline.
+        with pytest.raises(ConfigError):
+            make_arrivals(name).arrival_cycles(-1, RATE, CLOCK_HZ, seed=1)
+
     def test_zero_clock_rejected(self):
         with pytest.raises(ConfigError):
             PoissonProcess().arrival_cycles(10, RATE, 0.0, seed=1)

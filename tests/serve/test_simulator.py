@@ -180,6 +180,11 @@ class TestBackendsAndValidation:
             dict(deadline_us=0.0),
             dict(slo_us=-5.0),
             dict(rto_window_ops=0),
+            dict(burst_factor=1.0),
+            dict(burst_factor=0.5),
+            dict(watermark=0.0),
+            dict(watermark=1.5),
+            dict(checkpoint_every=0),
         ],
     )
     def test_serve_config_validation(self, kwargs):
