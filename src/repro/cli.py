@@ -97,7 +97,9 @@ FIGURES = {
     "ablation": experiments.ablation,
 }
 
-ENGINE_NAMES = ("ART", "Heart", "SMART", "CuART", "DCART-C", "DCART")
+ENGINE_NAMES = (
+    "ART", "Heart", "SMART", "CuART", "DCART-C", "DCART", "dcart-vec"
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:

@@ -1,0 +1,898 @@
+"""Vectorized level-wise batch SOU (the ``dcart-vec`` engine).
+
+The scalar :class:`~repro.core.sou.ShortcutOperatingUnit` walks the
+tree one *operation* at a time: every level of every walk is a Python
+interpreter trip through ``AdaptiveRadixTree.get``/``_upsert``.  This
+module advances **all operations of a bucket one tree level per step**
+— the level-wise FPGA batch-search structure (Tzschoppe et al.) over
+the struct-of-arrays :class:`~repro.art.layout.NodePool` — so the
+per-level traversal work becomes a handful of dense numpy operations
+instead of a per-op bytecode stream.
+
+Per bucket, a numpy *kernel* precomputes every operation's traversal
+against the pool snapshot at bucket entry: the touch sequence (node
+row per visited level), hit/miss, and the target/parent addresses of
+the stop node.  The bucket loop then replays the scalar SOU's decision
+structure exactly — Shortcut_buffer probe, shortcut fast path, stale
+repair, Tree_buffer fetches in op order — but traversals *consume* the
+precomputed segments (a short loop over prefetched addresses/sizes)
+instead of walking the object tree.
+
+Mutating ops (structural inserts, live deletes, scans) fall back to
+the scalar ``apply_operation``; the pool is reconciled incrementally
+(:meth:`NodePool.refresh_after`) and every address whose row changed
+lands in a *dirty* map — ``True`` for a wholesale change (death,
+prefix move, type change), or the set of child bytes whose mapping
+moved.  A later op's precomputed path is invalidated only if it
+crosses a dirty address *at an affected byte* (the kernel records the
+byte each lane consumed per node), so one insert at a fan-out node
+does not force every other path through that node back to the live
+walk.  Predictions are sound because a walk's decisions at a node
+depend only on that node's type/prefix/child map, and
+``refresh_after`` dirties exactly the addresses/bytes where any of
+those changed.
+
+The kernel never consults the Tree_buffer and the buffer never alters
+decisions (hits and misses change *cycles*, not behaviour), so the
+precompute-then-consume split is exact: the golden determinism test
+and the hypothesis differential suite hold the engine bit-identical to
+the scalar loop.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING, Any, Dict, List
+
+import numpy as np
+
+from repro.art.layout import NODE_LEAF, NODE_N16, KeyInterner, NodePool
+from repro.art.nodes import Leaf
+from repro.art.stats import CACHE_LINE_BYTES
+from repro.art.tree import AdaptiveRadixTree
+from repro.core.config import SHORTCUT_ENTRY_BYTES
+from repro.core.dispatcher import DispatchedBucket
+from repro.core.sou import (
+    PIPELINE_II,
+    BucketOutcome,
+    ShortcutOperatingUnit,
+    count_contended_groups,
+    modifies_shared_ancestor,
+)
+from repro.core.tree_buffer import ValueAwareTreeBuffer
+from repro.engines.base import apply_operation
+from repro.errors import ConfigError
+from repro.workloads.ops import OpKind
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+
+
+class VecContext:
+    """Per-session shared state of the vectorized SOUs.
+
+    One :class:`NodePool` (and its :class:`KeyInterner`) mirrors the
+    session's tree for *all* SOUs — buckets are processed sequentially
+    within a batch, so a single mirror stays consistent.  ``sync()``
+    rebuilds the mirror whenever the tree mutated outside the pool's
+    own bookkeeping (durability replay at attach, cluster migration).
+    """
+
+    def __init__(self, tree: AdaptiveRadixTree) -> None:
+        self.interner = KeyInterner()
+        self.pool = NodePool(tree, self.interner)
+
+    def sync(self) -> None:
+        self.pool.sync()
+
+
+class _KernelPlan:
+    """Per-bucket kernel output, converted to plain-Python containers.
+
+    Attribute access on numpy scalars is slower than list indexing in
+    the per-op consume loop, so everything op- or event-indexed is
+    materialised as a list once per bucket.
+    """
+
+    __slots__ = (
+        "hit", "seg_start", "seg_len", "taddr", "paddr", "term_row",
+        "ev_addr", "ev_size", "ev_lines", "ev_nid", "ev_byte",
+        "seg_bytes", "seg_used", "seg_pm", "occupancy", "empty_root",
+    )
+
+    def __init__(self) -> None:
+        self.hit: List[bool] = []
+        self.seg_start: List[int] = []
+        self.seg_len: List[int] = []
+        self.taddr: List[int] = []
+        self.paddr: List[int] = []
+        self.term_row: List[int] = []
+        self.ev_addr: List[int] = []
+        self.ev_size: List[int] = []
+        self.ev_lines: List[int] = []
+        self.ev_nid: List[int] = []
+        self.ev_byte: List[int] = []
+        self.seg_bytes: List[int] = []
+        self.seg_used: List[int] = []
+        self.seg_pm: List[int] = []
+        self.occupancy: List[int] = []
+        self.empty_root = False
+
+
+def run_kernel(pool: NodePool, kids: np.ndarray) -> _KernelPlan:
+    """Level-wise batched traversal of every op key against the pool.
+
+    ``kids`` holds one interned key id per operation.  All lanes start
+    at the root row and advance one level per iteration; finished lanes
+    (leaf reached, prefix mismatch, key exhausted, absent child byte)
+    are retired with boolean masks, descending lanes gather their child
+    row by node type — Node4/16 by broadcast compare against the sorted
+    key block, Node48/256 by fancy-indexing the 256-way slot table.
+
+    The emitted plan mirrors the scalar walk *exactly*: the touch
+    sequence per op (every visited node, terminal included), the hit
+    flag, and the target/parent addresses of the stop node.
+    """
+    plan = _KernelPlan()
+    n = int(kids.shape[0])
+    root_row = pool.root_row
+    if n == 0:
+        return plan
+    if root_row < 0:
+        plan.empty_root = True
+        plan.hit = [False] * n
+        plan.seg_start = [0] * n
+        plan.seg_len = [0] * n
+        plan.taddr = [-1] * n
+        plan.paddr = [-1] * n
+        plan.term_row = [-1] * n
+        plan.seg_bytes = [0] * n
+        plan.seg_used = [0] * n
+        plan.seg_pm = [0] * n
+        return plan
+
+    interner = pool.keys
+    interner.sync()
+    key_bytes = interner.matrix
+    key_lens = interner.lens
+    node_type = pool.node_type
+    plen = pool.plen
+    pref_off = pool.pref_off
+    blob = pool.blob
+    leaf_kid = pool.leaf_kid
+    narrow_keys = pool.narrow_keys
+    narrow_child = pool.narrow_child
+    wide_slot = pool.wide_slot
+    wide_child = pool.wide_child
+
+    hit = np.zeros(n, dtype=bool)
+    term_row = np.full(n, -1, dtype=np.int64)
+    par_row = np.full(n, -1, dtype=np.int64)
+    cur = np.full(n, root_row, dtype=np.int64)
+    par = np.full(n, -1, dtype=np.int64)
+    depth = np.zeros(n, dtype=np.int64)
+    klens = key_lens[kids]
+    active = np.arange(n, dtype=np.int64)
+    touch_rows: List[np.ndarray] = []
+    touch_ops: List[np.ndarray] = []
+    occupancy = plan.occupancy
+    blob_hi = len(blob) - 1
+    width_hi = key_bytes.shape[1] - 1
+
+    touch_bytes: List[np.ndarray] = []
+    while active.size:
+        occupancy.append(int(active.size))
+        rows = cur[active]
+        touch_rows.append(rows)
+        touch_ops.append(active)
+        # Byte consumed at this node per lane (-2 = none: leaf terminal,
+        # prefix mismatch, or key exhausted) — set below for lanes that
+        # actually index a child.  Byte-granular dirt checks need it.
+        lvl_byte = np.full(active.size, -2, dtype=np.int64)
+        touch_bytes.append(lvl_byte)
+        kinds = node_type[rows]
+        leaf = kinds == NODE_LEAF
+        if leaf.any():
+            lsel = np.nonzero(leaf)[0]
+            lops = active[lsel]
+            lrows = rows[lsel]
+            hit[lops] = leaf_kid[lrows] == kids[lops]
+            term_row[lops] = lrows
+            par_row[lops] = par[lops]
+        inner = np.nonzero(~leaf)[0]
+        if inner.size == 0:
+            break
+        irows = rows[inner]
+        iops = active[inner]
+        d = depth[iops]
+        ipl = plen[irows]
+        ioff = pref_off[irows]
+        ikl = klens[iops]
+        ikid = kids[iops]
+        ok = np.ones(inner.size, dtype=bool)
+        max_pl = int(ipl.max())
+        for j in range(max_pl):
+            rel = ipl > j
+            if not rel.any():
+                break
+            pos = d + j
+            in_key = pos < ikl
+            mismatch = blob[np.minimum(ioff + j, blob_hi)] != key_bytes[
+                ikid, np.minimum(pos, width_hi)
+            ]
+            ok &= ~(rel & (~in_key | mismatch))
+        deep = d + ipl >= ikl
+        cand = np.nonzero(ok & ~deep)[0]
+        child = np.full(inner.size, -1, dtype=np.int64)
+        if cand.size:
+            crows = irows[cand]
+            byte = key_bytes[ikid[cand], (d + ipl)[cand]].astype(np.int64)
+            lvl_byte[inner[cand]] = byte
+            narrow = node_type[crows] <= NODE_N16
+            if narrow.any():
+                nsel = np.nonzero(narrow)[0]
+                nrows = crows[nsel]
+                eq = narrow_keys[nrows] == byte[nsel, None].astype(np.int16)
+                found = eq.any(axis=1)
+                slot = eq.argmax(axis=1)
+                child[cand[nsel]] = np.where(
+                    found, narrow_child[nrows, slot], -1
+                )
+            wide = np.nonzero(~narrow)[0]
+            if wide.size:
+                wrows = crows[wide]
+                child[cand[wide]] = wide_child[
+                    wide_slot[wrows], byte[wide]
+                ]
+        descend = np.nonzero(child >= 0)[0]
+        stop = np.nonzero(child < 0)[0]
+        if stop.size:
+            sops = iops[stop]
+            term_row[sops] = irows[stop]
+            par_row[sops] = par[sops]
+        if descend.size == 0:
+            break
+        dops = iops[descend]
+        par[dops] = irows[descend]
+        cur[dops] = child[descend]
+        depth[dops] = (d + ipl)[descend] + 1
+        active = dops
+
+    # Flatten level-major touches into op-major segments.
+    flat_rows = np.concatenate(touch_rows)
+    flat_ops = np.concatenate(touch_ops)
+    order = np.argsort(flat_ops, kind="stable")
+    rows_o = flat_rows[order]
+    counts = np.bincount(flat_ops, minlength=n)
+    starts = np.zeros(n, dtype=np.int64)
+    np.cumsum(counts[:-1], out=starts[1:])
+    inner_o = node_type[rows_o] != NODE_LEAF
+    used_o = plen[rows_o] + 8 + inner_o
+    size_o = pool.size_bytes[rows_o].astype(np.int64)
+    span_o = np.minimum(size_o, 16 + used_o)
+    lines_o = (span_o + (CACHE_LINE_BYTES - 1)) // CACHE_LINE_BYTES
+    address = pool.address
+
+    plan.hit = hit.tolist()
+    plan.seg_start = starts.tolist()
+    plan.seg_len = counts.tolist()
+    safe_term = np.maximum(term_row, 0)
+    safe_par = np.maximum(par_row, 0)
+    plan.taddr = np.where(term_row >= 0, address[safe_term], -1).tolist()
+    plan.paddr = np.where(par_row >= 0, address[safe_par], -1).tolist()
+    plan.term_row = term_row.tolist()
+    plan.ev_addr = address[rows_o].tolist()
+    plan.ev_size = size_o.tolist()
+    plan.ev_lines = lines_o.tolist()
+    plan.ev_nid = pool.node_id[rows_o].tolist()
+    plan.ev_byte = np.concatenate(touch_bytes)[order].tolist()
+    plan.seg_bytes = (
+        np.add.reduceat(lines_o * CACHE_LINE_BYTES, starts).tolist()
+    )
+    plan.seg_used = np.add.reduceat(used_o, starts).tolist()
+    plan.seg_pm = (
+        np.add.reduceat(inner_o.astype(np.int64), starts).tolist()
+    )
+    return plan
+
+
+class VectorizedOperatingUnit(ShortcutOperatingUnit):
+    """Drop-in SOU whose traversals consume the level-wise kernel.
+
+    Construction, run totals, metric reporting and the stale/corrupted
+    helpers are inherited; only :meth:`process_bucket` differs — and it
+    is held bit-identical to the scalar loop by the golden determinism
+    test and the hypothesis differential suite.
+    """
+
+    def __init__(self, *args: Any, vec_ctx: VecContext, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.vec_ctx = vec_ctx
+        #: ``level -> total in-flight lanes`` across all kernel runs;
+        #: reported (off by default, like all telemetry) as
+        #: ``sou.<id>.level_occupancy.<level>`` so the next PR's
+        #: work-stealing can see where batches go sparse.
+        self.level_occupancy: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def process_bucket(self, bucket: DispatchedBucket) -> BucketOutcome:
+        """Scalar decision loop over kernel-precomputed traversals.
+
+        Statement-for-statement this follows the scalar
+        ``ShortcutOperatingUnit.process_bucket`` (same stage-1 probe,
+        same inlined Tree_buffer fetch, same cycle arithmetic); the
+        only structural difference is the ``use_pred`` branch, where a
+        traversal's touch sequence comes from the kernel plan instead
+        of a live object-tree walk.
+        """
+        ops = bucket.operations
+        outcome = BucketOutcome(bucket_id=bucket.bucket_id, sou_id=self.sou_id)
+        outcome.coalesced_contended_groups = count_contended_groups(ops)
+        injector = self.injector
+        slowdown = (
+            injector.slowdown_factor(self.sou_id)
+            if injector is not None
+            else 1.0
+        )
+        slow = slowdown > 1.0
+
+        tree = self.tree
+        node_at = tree._by_address.get
+        shortcuts = self.shortcuts
+        if shortcuts is not None:
+            sc_entries_get = shortcuts._entries.get
+            sc_buf = shortcuts.buffer
+            sc_buf_entries = sc_buf._entries
+            sc_buf_move = sc_buf_entries.move_to_end
+            sc_buf_insert = sc_buf.insert
+            sc_buf_pop = sc_buf_entries.popitem
+            sc_cap = sc_buf.capacity_bytes
+        tb = self.tree_buffer
+        fetch_node = tb.fetch
+        fvalue = float(bucket.value)
+        value_aware = type(tb) is ValueAwareTreeBuffer
+        if value_aware:
+            tb_resident = tb._resident
+            tb_resident_get = tb_resident.get
+            tb_heap = tb._heap
+            tb_capacity = tb.capacity_bytes
+            norm = fvalue / tb._mult
+        shortcut_miss_stall = self._shortcut_miss_stall
+        tree_miss_stall = self._tree_miss_stall
+        structure_cycles = self.costs.structure_op_cycles
+        read_kind = OpKind.READ
+        write_kind = OpKind.WRITE
+        delete_kind = OpKind.DELETE
+        ceil = math.ceil
+
+        clock = 0
+        completions_append = outcome.completion_cycles.append
+        sync_targets = outcome.global_sync_targets
+        visited_ids: List[int] = []
+        visited_append = visited_ids.append
+        visited_extend = visited_ids.extend
+        bytes_fetched = 0
+        bytes_used = 0
+        offchip_lines = 0
+        partial_matches = 0
+        shortcut_hits = 0
+        shortcut_misses = 0
+        stale_shortcuts = 0
+        traversals = 0
+        sc_buf_hits = 0
+        sc_buf_misses = 0
+        structure_mods = 0
+        shortcuts_generated = 0
+
+        # Kernel: batch-precompute traversals against the pool — but only
+        # for ops that can actually reach the traversal branch.  A key
+        # with a live Shortcut_Table entry at bucket entry is served by
+        # the fast path (or, rarely, repaired live after a stale hit), so
+        # kerneling it would be pure waste; at high skew that excludes
+        # the vast majority of the bucket.  Lanes are deduplicated by
+        # key: the kernel is read-only, so same-key ops share a segment.
+        ctx = self.vec_ctx
+        ctx.sync()
+        pool = ctx.pool
+        intern = ctx.interner.intern
+        n = len(ops)
+        if shortcuts is not None:
+            sc_entries = shortcuts._entries
+            lane_keys = dict.fromkeys(
+                op.key for op in ops if op.key not in sc_entries
+            )
+        else:
+            lane_keys = dict.fromkeys(op.key for op in ops)
+        lane_ids = {k: j for j, k in enumerate(lane_keys)}
+        lane_get = lane_ids.get
+        kids = np.fromiter(
+            (intern(k) for k in lane_keys),
+            dtype=np.int64,
+            count=len(lane_keys),
+        )
+        plan = run_kernel(pool, kids)
+        occ = self.level_occupancy
+        for level, lanes in enumerate(plan.occupancy):
+            occ[level] = occ.get(level, 0) + lanes
+        k_hit = plan.hit
+        k_start = plan.seg_start
+        k_len = plan.seg_len
+        k_taddr = plan.taddr
+        k_paddr = plan.paddr
+        k_term = plan.term_row
+        k_addr = plan.ev_addr
+        k_size = plan.ev_size
+        k_lines = plan.ev_lines
+        k_nid = plan.ev_nid
+        k_byte = plan.ev_byte
+        k_bytes = plan.seg_bytes
+        k_used = plan.seg_used
+        k_pm = plan.seg_pm
+        # Kernel predictions stay valid for an op until its precomputed
+        # path crosses a *semantic* change: an address marked True in
+        # ``dirty`` (died, prefix or type moved), or one whose child
+        # mapping moved at the byte this path consumed there.  An
+        # empty-root kernel has no addresses to mark, so the first
+        # structural mutation invalidates everything wholesale.
+        dirty: Dict[int, Any] = {}
+        dirty_get = dirty.get
+        preds_ok = True
+        kernel_on_empty = plan.empty_root
+        row_of = pool.row_of
+        addr_base = pool._addr_base
+
+        for op in ops:
+            stall_cycles = 0
+            key = op.key
+            kind = op.kind
+            served = False
+
+            entry = None
+            if shortcuts is not None:
+                entry = sc_entries_get(key)
+                if key in sc_buf_entries:
+                    sc_buf_move(key)
+                    sc_buf_hits += 1
+                else:
+                    sc_buf_misses += 1
+                    stall_cycles = shortcut_miss_stall
+                    if entry is not None:
+                        if SHORTCUT_ENTRY_BYTES > sc_cap:
+                            sc_buf_insert(key, SHORTCUT_ENTRY_BYTES)
+                        else:
+                            scb_used = sc_buf.used_bytes
+                            while scb_used + SHORTCUT_ENTRY_BYTES > sc_cap:
+                                _, old_size = sc_buf_pop(last=False)
+                                scb_used -= old_size
+                                sc_buf.evictions += 1
+                            sc_buf_entries[key] = SHORTCUT_ENTRY_BYTES
+                            sc_buf.used_bytes = (
+                                scb_used + SHORTCUT_ENTRY_BYTES
+                            )
+                if entry is not None and (
+                    kind is read_kind or kind is write_kind
+                ):
+                    node = node_at(entry.target_address)
+                    if type(node) is Leaf and node.key == key:
+                        used = len(node.key) + 8
+                        size = 16 + used
+                        lines = -(-size // CACHE_LINE_BYTES)
+                        addr = node.address
+                        if not value_aware:
+                            hit = fetch_node(addr, size, fvalue)
+                        else:
+                            tb_entry = tb_resident_get(addr)
+                            if tb_entry is not None:
+                                tb.hits += 1
+                                seq = tb._seq + 1
+                                tb._seq = seq
+                                tb_resident[addr] = (norm, seq, tb_entry[2])
+                                heappush(tb_heap, (norm, seq, addr))
+                                hit = True
+                            else:
+                                tb.misses += 1
+                                if size > tb_capacity:
+                                    raise ConfigError(
+                                        f"node of {size} B exceeds "
+                                        f"Tree_buffer capacity"
+                                    )
+                                admitted = True
+                                while tb.used_bytes + size > tb_capacity:
+                                    victim_addr = None
+                                    while tb_heap:
+                                        victim = heappop(tb_heap)
+                                        cur = tb_resident_get(victim[2])
+                                        if (
+                                            cur is not None
+                                            and cur[0] == victim[0]
+                                            and cur[1] == victim[1]
+                                        ):
+                                            victim_addr = victim[2]
+                                            break
+                                    if victim_addr is None:
+                                        break
+                                    if victim[0] > norm:
+                                        heappush(tb_heap, victim)
+                                        tb.rejected_inserts += 1
+                                        admitted = False
+                                        break
+                                    tb.used_bytes -= tb_resident.pop(
+                                        victim_addr
+                                    )[2]
+                                    tb.evictions += 1
+                                if admitted:
+                                    tb.used_bytes += size
+                                    seq = tb._seq + 1
+                                    tb._seq = seq
+                                    tb_resident[addr] = (norm, seq, size)
+                                    heappush(tb_heap, (norm, seq, addr))
+                                hit = False
+                        if hit:
+                            fast_cycles = 0
+                        else:
+                            offchip_lines += lines
+                            fast_cycles = tree_miss_stall
+                        visited_append(node.node_id)
+                        bytes_fetched += lines * CACHE_LINE_BYTES
+                        bytes_used += used
+                        if kind is write_kind:
+                            node.value = op.value
+                            # row_of inlined: one probe per fast-path
+                            # write makes the call overhead measurable.
+                            a2r = pool.addr_to_row
+                            aidx = (addr - addr_base) >> 4
+                            if aidx < a2r.shape[0]:
+                                vrow = a2r[aidx]
+                                if vrow >= 0:
+                                    pool.leaf_value[vrow] = op.value
+                            parent_address = entry.parent_address
+                            parent = (
+                                node_at(parent_address)
+                                if parent_address is not None
+                                else None
+                            )
+                            if parent is not None:
+                                if type(parent) is Leaf:
+                                    p_used = len(parent.key) + 8
+                                    p_size = 16 + p_used
+                                    p_span = p_size
+                                else:
+                                    p_used = len(parent.prefix) + 9
+                                    p_size = parent.size_bytes
+                                    p_span = (
+                                        p_size
+                                        if p_size < 16 + p_used
+                                        else 16 + p_used
+                                    )
+                                p_lines = -(-p_span // CACHE_LINE_BYTES)
+                                addr = parent.address
+                                if not value_aware:
+                                    hit = fetch_node(addr, p_size, fvalue)
+                                else:
+                                    tb_entry = tb_resident_get(addr)
+                                    if tb_entry is not None:
+                                        tb.hits += 1
+                                        seq = tb._seq + 1
+                                        tb._seq = seq
+                                        tb_resident[addr] = (
+                                            norm, seq, tb_entry[2],
+                                        )
+                                        heappush(tb_heap, (norm, seq, addr))
+                                        hit = True
+                                    else:
+                                        tb.misses += 1
+                                        if p_size > tb_capacity:
+                                            raise ConfigError(
+                                                f"node of {p_size} B exceeds"
+                                                f" Tree_buffer capacity"
+                                            )
+                                        admitted = True
+                                        while (
+                                            tb.used_bytes + p_size
+                                            > tb_capacity
+                                        ):
+                                            victim_addr = None
+                                            while tb_heap:
+                                                victim = heappop(tb_heap)
+                                                cur = tb_resident_get(
+                                                    victim[2]
+                                                )
+                                                if (
+                                                    cur is not None
+                                                    and cur[0] == victim[0]
+                                                    and cur[1] == victim[1]
+                                                ):
+                                                    victim_addr = victim[2]
+                                                    break
+                                            if victim_addr is None:
+                                                break
+                                            if victim[0] > norm:
+                                                heappush(tb_heap, victim)
+                                                tb.rejected_inserts += 1
+                                                admitted = False
+                                                break
+                                            tb.used_bytes -= tb_resident.pop(
+                                                victim_addr
+                                            )[2]
+                                            tb.evictions += 1
+                                        if admitted:
+                                            tb.used_bytes += p_size
+                                            seq = tb._seq + 1
+                                            tb._seq = seq
+                                            tb_resident[addr] = (
+                                                norm, seq, p_size,
+                                            )
+                                            heappush(
+                                                tb_heap, (norm, seq, addr)
+                                            )
+                                        hit = False
+                                if not hit:
+                                    offchip_lines += p_lines
+                                    fast_cycles += tree_miss_stall
+                                visited_append(parent.node_id)
+                                bytes_fetched += p_lines * CACHE_LINE_BYTES
+                                bytes_used += p_used
+                        shortcut_hits += 1
+                        if fast_cycles < PIPELINE_II:
+                            fast_cycles = PIPELINE_II
+                        cycles = stall_cycles + fast_cycles
+                        if cycles < PIPELINE_II:
+                            cycles = PIPELINE_II
+                        served = True
+                    else:
+                        if entry.corrupted:
+                            stall_cycles += self._corrupted_retry(outcome)
+                        stale_shortcuts += 1
+                        shortcuts.note_stale(key)
+
+            if not served:
+                traversals += 1
+                shortcut_misses += 1
+                # Prediction usable?  READs always ride the kernel; a
+                # WRITE only when the key exists (pure value update); a
+                # DELETE only when it misses (no mutation).  Everything
+                # else — unkerneled ops and any op whose path crossed a
+                # dirty row — falls back to the live scalar walk.
+                lane = lane_get(key, -1)
+                use_pred = lane >= 0 and preds_ok and (
+                    kind is read_kind
+                    or (kind is write_kind and k_hit[lane])
+                    or (kind is delete_kind and not k_hit[lane])
+                )
+                if use_pred:
+                    seg_at = k_start[lane]
+                    seg_end = seg_at + k_len[lane]
+                    if dirty:
+                        for t in range(seg_at, seg_end):
+                            spec = dirty_get(k_addr[t])
+                            if spec is not None and (
+                                spec is True or k_byte[t] in spec
+                            ):
+                                use_pred = False
+                                break
+                if use_pred:
+                    for t in range(seg_at, seg_end):
+                        addr = k_addr[t]
+                        if not value_aware:
+                            hit = fetch_node(addr, k_size[t], fvalue)
+                        else:
+                            tb_entry = tb_resident_get(addr)
+                            if tb_entry is not None:
+                                tb.hits += 1
+                                seq = tb._seq + 1
+                                tb._seq = seq
+                                tb_resident[addr] = (norm, seq, tb_entry[2])
+                                heappush(tb_heap, (norm, seq, addr))
+                                continue  # on-chip: no stall, no lines
+                            t_size = k_size[t]
+                            tb.misses += 1
+                            if t_size > tb_capacity:
+                                raise ConfigError(
+                                    f"node of {t_size} B exceeds "
+                                    f"Tree_buffer capacity"
+                                )
+                            admitted = True
+                            while tb.used_bytes + t_size > tb_capacity:
+                                victim_addr = None
+                                while tb_heap:
+                                    victim = heappop(tb_heap)
+                                    cur = tb_resident_get(victim[2])
+                                    if (
+                                        cur is not None
+                                        and cur[0] == victim[0]
+                                        and cur[1] == victim[1]
+                                    ):
+                                        victim_addr = victim[2]
+                                        break
+                                if victim_addr is None:
+                                    break
+                                if victim[0] > norm:
+                                    heappush(tb_heap, victim)
+                                    tb.rejected_inserts += 1
+                                    admitted = False
+                                    break
+                                tb.used_bytes -= tb_resident.pop(
+                                    victim_addr
+                                )[2]
+                                tb.evictions += 1
+                            if admitted:
+                                tb.used_bytes += t_size
+                                seq = tb._seq + 1
+                                tb._seq = seq
+                                tb_resident[addr] = (norm, seq, t_size)
+                                heappush(tb_heap, (norm, seq, addr))
+                            hit = False
+                        if not hit:
+                            offchip_lines += k_lines[t]
+                            stall_cycles += tree_miss_stall
+                    visited_extend(k_nid[seg_at:seg_end])
+                    bytes_fetched += k_bytes[lane]
+                    bytes_used += k_used[lane]
+                    partial_matches += k_pm[lane]
+                    if k_hit[lane]:
+                        if kind is write_kind:
+                            node_at(k_taddr[lane]).value = op.value
+                            pool.leaf_value[k_term[lane]] = op.value
+                        if shortcuts is not None:
+                            paddr = k_paddr[lane]
+                            shortcuts.generate(
+                                key,
+                                k_taddr[lane],
+                                paddr if paddr >= 0 else None,
+                            )
+                            shortcuts_generated += 1
+                else:
+                    record = apply_operation(tree, op)
+                    for t_nid, addr, t_size, t_used, t_kind in (
+                        record.touches
+                    ):
+                        fetch = (
+                            t_size if t_size < 16 + t_used else 16 + t_used
+                        )
+                        lines = -(-fetch // CACHE_LINE_BYTES)
+                        if not value_aware:
+                            hit = fetch_node(addr, t_size, fvalue)
+                        else:
+                            tb_entry = tb_resident_get(addr)
+                            if tb_entry is not None:
+                                tb.hits += 1
+                                seq = tb._seq + 1
+                                tb._seq = seq
+                                tb_resident[addr] = (norm, seq, tb_entry[2])
+                                heappush(tb_heap, (norm, seq, addr))
+                                hit = True
+                            else:
+                                tb.misses += 1
+                                if t_size > tb_capacity:
+                                    raise ConfigError(
+                                        f"node of {t_size} B exceeds "
+                                        f"Tree_buffer capacity"
+                                    )
+                                admitted = True
+                                while tb.used_bytes + t_size > tb_capacity:
+                                    victim_addr = None
+                                    while tb_heap:
+                                        victim = heappop(tb_heap)
+                                        cur = tb_resident_get(victim[2])
+                                        if (
+                                            cur is not None
+                                            and cur[0] == victim[0]
+                                            and cur[1] == victim[1]
+                                        ):
+                                            victim_addr = victim[2]
+                                            break
+                                    if victim_addr is None:
+                                        break
+                                    if victim[0] > norm:
+                                        heappush(tb_heap, victim)
+                                        tb.rejected_inserts += 1
+                                        admitted = False
+                                        break
+                                    tb.used_bytes -= tb_resident.pop(
+                                        victim_addr
+                                    )[2]
+                                    tb.evictions += 1
+                                if admitted:
+                                    tb.used_bytes += t_size
+                                    seq = tb._seq + 1
+                                    tb._seq = seq
+                                    tb_resident[addr] = (norm, seq, t_size)
+                                    heappush(tb_heap, (norm, seq, addr))
+                                hit = False
+                        if not hit:
+                            offchip_lines += lines
+                            stall_cycles += tree_miss_stall
+                        visited_append(t_nid)
+                        bytes_fetched += lines * CACHE_LINE_BYTES
+                        bytes_used += t_used
+                        if t_kind != "Leaf":
+                            partial_matches += 1
+
+                    if record.structure_modified:
+                        stall_cycles += structure_cycles
+                        structure_mods += 1
+                        self._invalidate_dead_nodes(record)
+                        if modifies_shared_ancestor(
+                            record, self.shared_depth_bytes
+                        ):
+                            sync_targets.append(record.target_node_id or -1)
+                        pool.refresh_after(record, dirty)
+                        if kernel_on_empty:
+                            preds_ok = False
+                    elif record.outcome == "updated":
+                        vrow = row_of(record.target_address)
+                        if vrow >= 0:
+                            pool.leaf_value[vrow] = op.value
+
+                    if shortcuts is not None:
+                        record_outcome = record.outcome
+                        if (
+                            record_outcome in ("hit", "updated")
+                            and record.target_address is not None
+                        ):
+                            shortcuts.generate(
+                                key,
+                                record.target_address,
+                                record.parent_address,
+                            )
+                            shortcuts_generated += 1
+                        elif record_outcome == "deleted":
+                            shortcuts.drop(key)
+
+                cycles = (
+                    stall_cycles if stall_cycles > PIPELINE_II else PIPELINE_II
+                )
+
+            if slow:
+                cycles = ceil(cycles * slowdown)
+            clock += cycles
+            completions_append(clock)
+
+        outcome.op_ids = [op.op_id for op in ops]
+        if shortcuts is not None:
+            sc_buf.hits += sc_buf_hits
+            sc_buf.misses += sc_buf_misses
+        outcome.n_ops = n
+        outcome.cycles = clock
+        outcome.nodes_visited = len(visited_ids)
+        outcome.bytes_fetched = bytes_fetched
+        outcome.bytes_used = bytes_used
+        outcome.offchip_lines = offchip_lines
+        outcome.partial_key_matches = partial_matches
+        outcome.shortcut_hits = shortcut_hits
+        outcome.shortcut_misses = shortcut_misses
+        outcome.stale_shortcuts = stale_shortcuts
+        outcome.traversals = traversals
+        outcome.visited_ids = visited_ids
+        self.buckets_processed += 1
+        self.ops_processed += n
+        self.busy_cycles += clock
+        self.shortcut_hits_total += shortcut_hits
+        self.shortcut_misses_total += shortcut_misses
+        self.shortcut_buffer_hits_total += sc_buf_hits
+        self.shortcut_buffer_misses_total += sc_buf_misses
+        self.stale_shortcuts_total += stale_shortcuts
+        self.corrupted_hits_total += outcome.corrupted_shortcut_hits
+        self.traversals_total += traversals
+        self.nodes_visited_total += outcome.nodes_visited
+        self.offchip_lines_total += offchip_lines
+        self.structure_mods_total += structure_mods
+        self.shortcuts_generated_total += shortcuts_generated
+        self.sync_ops_total += len(sync_targets)
+        return outcome
+
+    # ------------------------------------------------------------------
+
+    def _report_occupancy(self, registry: "MetricsRegistry") -> None:
+        """Per-level kernel occupancy: how many lanes were still in
+        flight at each tree level, summed over every bucket."""
+        sid = self.sou_id
+        counter = registry.counter
+        total = 0
+        for level in sorted(self.level_occupancy):
+            lanes = self.level_occupancy[level]
+            counter(f"sou.{sid}.level_occupancy.{level}", lanes)
+            total += lanes
+        counter(f"sou.{sid}.level_occupancy.total", total)

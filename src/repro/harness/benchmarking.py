@@ -83,12 +83,39 @@ class BenchSample:
         }
 
 
-def peak_rss_bytes() -> int:
-    """Peak resident set size of this process, in bytes.
+def reset_peak_rss() -> None:
+    """Reset the kernel's peak-RSS watermark for this process.
 
-    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalise to
-    bytes.
+    Writing ``"5"`` to ``/proc/self/clear_refs`` zeroes ``VmHWM``, so
+    the next :func:`peak_rss_bytes` reports the peak *since this reset*
+    rather than the process-lifetime high-water mark — without it every
+    engine benchmarked after the first inherits its predecessors' peak.
+    A no-op where the procfs knob does not exist (macOS, restricted
+    containers); there the lifetime fallback still applies.
     """
+    try:
+        with open("/proc/self/clear_refs", "w") as handle:
+            handle.write("5")
+    except OSError:  # pragma: no cover - non-linux / restricted
+        pass
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size in bytes since the last reset.
+
+    Prefers ``VmHWM`` from ``/proc/self/status`` (resettable via
+    :func:`reset_peak_rss`, so each engine's sample is its own); falls
+    back to ``ru_maxrss`` where procfs is unavailable — a lifetime
+    number that can only overstate.  ``ru_maxrss`` is kilobytes on
+    Linux and bytes on macOS; normalise to bytes.
+    """
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):  # pragma: no cover
+        pass
     maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     if os.uname().sysname == "Darwin":  # pragma: no cover - linux CI
         return maxrss
@@ -174,6 +201,7 @@ def bench_engine(
     engine = default_engines(n_keys, include=[engine_name])[0]
     if repeats < 1:
         raise ConfigError(f"repeats must be >= 1: {repeats}")
+    reset_peak_rss()
     wall = None
     result = None
     for _ in range(repeats):

@@ -1,0 +1,172 @@
+"""NodePool: the struct-of-arrays mirror stays exact under mutation.
+
+Every test drives the *incremental* maintenance path — install a
+recorder, mutate the tree, hand the trace to ``refresh_after`` — and
+then checks the arrays against the object tree with ``verify_against``
+(field-by-field) and ``to_tree`` (round-trip).  The directed cases pin
+each structural mutation the tree can perform (plain add, grow, leaf
+split, prefix split, removal, path merge, shrink, root churn); the
+randomized case churns all of them together.
+"""
+
+import random
+
+import pytest
+
+from repro.art.layout import KeyInterner, LayoutError, NodePool
+from repro.art.stats import TraversalRecord
+from repro.art.tree import AdaptiveRadixTree
+from repro.art.validate import assert_valid
+
+
+def encode(i, width=8):
+    return b"\x00" + i.to_bytes(width, "big")
+
+
+def mutate(tree, pool, dirty, action, key, value=None):
+    """Apply one recorded mutation and reconcile the pool."""
+    record = TraversalRecord(op_kind=action, key=key)
+    tree._recorder = record
+    try:
+        if action == "upsert":
+            tree.upsert(key, value)
+        else:
+            tree.delete(key)
+    finally:
+        tree._recorder = None
+    if record.structure_modified:
+        pool.refresh_after(record, dirty)
+    elif record.outcome == "updated":
+        # Value-only updates are the caller's to write through (the vec
+        # engine does this inline on its fast path): no structure moved,
+        # so refresh_after is never involved.
+        pool.leaf_value[pool.row_of(record.target_address)] = value
+    return record
+
+
+def make_pool(keys):
+    tree = AdaptiveRadixTree()
+    for i, key in enumerate(keys):
+        tree.insert(key, i)
+    pool = NodePool(tree, KeyInterner())
+    pool.sync()
+    return tree, pool
+
+
+class TestRebuild:
+    def test_empty_tree(self):
+        tree = AdaptiveRadixTree()
+        pool = NodePool(tree)
+        pool.sync()
+        assert pool.root_row == -1
+        pool.verify_against(tree)
+
+    def test_round_trip(self):
+        keys = [encode(i * 7919) for i in range(500)]
+        tree, pool = make_pool(keys)
+        pool.verify_against(tree)
+        clone = pool.to_tree()
+        assert_valid(clone)
+        assert list(clone.items()) == list(tree.items())
+
+    def test_sync_is_versioned(self):
+        tree, pool = make_pool([encode(i) for i in range(10)])
+        assert pool.sync() is False  # already current
+        tree.insert(encode(99), 99)  # unrecorded: version moved
+        assert pool.sync() is True
+        pool.verify_against(tree)
+
+
+class TestIncremental:
+    def test_plain_add_dirties_only_the_branch_byte(self):
+        # Keys differing in the last byte share one parent; adding a
+        # third child must dirty that parent at exactly the new byte.
+        tree, pool = make_pool([encode(0), encode(1)])
+        dirty = {}
+        mutate(tree, pool, dirty, "upsert", encode(2), 2)
+        pool.verify_against(tree)
+        spec = next(iter(dirty.values()))
+        assert spec == {encode(2)[-1]}
+
+    def test_grow_chain_n4_to_n256(self):
+        # 300 keys under one parent byte walk the node through every
+        # type: N4 -> N16 -> N48 -> N256.
+        tree, pool = make_pool([encode(0, width=2)])
+        dirty = {}
+        for i in range(1, 256):
+            mutate(tree, pool, dirty, "upsert", encode(i, width=2), i)
+        pool.verify_against(tree)
+        clone = pool.to_tree()
+        assert list(clone.items()) == list(tree.items())
+
+    def test_leaf_split_and_prefix_split(self):
+        # Sharing a long middle run forces path compression, then keys
+        # diverging inside the run force prefix splits.
+        base = b"\x00" + bytes(range(8))
+        tree, pool = make_pool([base + b"\x01\x01", base + b"\x01\x02"])
+        dirty = {}
+        mutate(tree, pool, dirty, "upsert", base + b"\x02\x01", 3)
+        mutate(tree, pool, dirty, "upsert",
+               b"\x00" + bytes(range(4)) + b"\xff" * 6, 4)
+        pool.verify_against(tree)
+
+    def test_delete_merge_and_shrink(self):
+        rng = random.Random(5)
+        keys = [encode(i) for i in range(80)]
+        tree, pool = make_pool(keys)
+        dirty = {}
+        rng.shuffle(keys)
+        for key in keys[:70]:
+            mutate(tree, pool, dirty, "delete", key)
+            pool.verify_against(tree)
+        assert_valid(tree)
+
+    def test_root_churn(self):
+        tree = AdaptiveRadixTree()
+        pool = NodePool(tree)
+        pool.sync()
+        dirty = {}
+        mutate(tree, pool, dirty, "upsert", encode(1), 1)  # leaf root
+        pool.verify_against(tree)
+        mutate(tree, pool, dirty, "upsert", encode(2), 2)  # root split
+        pool.verify_against(tree)
+        mutate(tree, pool, dirty, "delete", encode(1))  # back to a leaf
+        pool.verify_against(tree)
+        mutate(tree, pool, dirty, "delete", encode(2))  # empty again
+        pool.verify_against(tree)
+        assert tree.root is None
+
+    def test_dead_addresses_resolve_to_no_row(self):
+        tree, pool = make_pool([encode(0), encode(1)])
+        victim = tree.root.address
+        dirty = {}
+        for key in (encode(0), encode(1)):
+            mutate(tree, pool, dirty, "delete", key)
+        assert pool.row_of(victim) == -1
+        assert dirty[victim] is True
+
+    def test_randomized_churn_stays_exact(self):
+        rng = random.Random(99)
+        universe = [encode(rng.randrange(4000)) for _ in range(300)]
+        tree, pool = make_pool(list(dict.fromkeys(universe))[:100])
+        dirty = {}
+        sentinel = object()
+        for step in range(600):
+            key = rng.choice(universe)
+            if rng.random() < 0.35 and tree.get(key, sentinel) is not sentinel:
+                mutate(tree, pool, dirty, "delete", key)
+            else:
+                mutate(tree, pool, dirty, "upsert", key, step)
+            if step % 50 == 49:
+                pool.verify_against(tree)
+        pool.verify_against(tree)
+        clone = pool.to_tree()
+        assert_valid(clone)
+        assert list(clone.items()) == list(tree.items())
+
+    def test_to_tree_rejects_dead_reachable_rows(self):
+        tree, pool = make_pool([encode(0), encode(1)])
+        row = pool.root_row
+        pool.node_type[row] = -1  # NODE_DEAD marker corruption
+        with pytest.raises(LayoutError):
+            pool.to_tree()

@@ -1,0 +1,126 @@
+"""Property-based differential: dcart-vec vs the scalar reference.
+
+Hypothesis drives randomly-shaped workloads — four key families chosen
+to stress different node-pool regimes (wide fan-out, deep small-alphabet
+paths, long shared prefixes, sparse 64-bit-style keys) crossed with
+read/insert/delete mixes — through both engines and requires the *full*
+serialized RunResult to match bit-for-bit: cycles, per-SOU stage
+metrics, per-op stats, final tree digest.  After each run the surviving
+object tree must still satisfy every ART structural invariant.
+
+Keys are fixed-width within a family, so every generated set is
+prefix-free by construction (a tree requirement).
+"""
+
+from dataclasses import replace
+
+from hypothesis import given, settings, strategies as st
+
+from repro.art.validate import assert_valid
+from repro.core.accelerator import DcartAccelerator
+from repro.harness.runner import scaled_dcart_config
+from repro.harness.serialize import result_to_full_dict
+from repro.workloads.ops import Operation, OperationStream, OpKind, Workload
+
+# -- key families (all fixed-width => prefix-free) ---------------------
+
+sparse_keys = st.integers(0, 2**40 - 1).map(
+    lambda i: b"\x00" + i.to_bytes(8, "big")
+)
+deep_keys = st.lists(
+    st.integers(0, 3), min_size=8, max_size=8
+).map(lambda bs: b"\x01" + bytes(bs))
+prefix_keys = st.integers(0, 2**16 - 1).map(
+    lambda i: b"\x02" + b"\xab" * 6 + i.to_bytes(2, "big")
+)
+fanout_keys = st.integers(0, 2**16 - 1).map(
+    lambda i: b"\x03" + i.to_bytes(2, "big")
+)
+
+KEY_FAMILIES = (sparse_keys, deep_keys, prefix_keys, fanout_keys)
+
+# (read, write, delete) weights per mix.
+MIXES = ((8, 1, 0), (2, 6, 1), (3, 3, 3))
+
+
+@st.composite
+def workloads(draw):
+    family = draw(st.sampled_from(range(len(KEY_FAMILIES))))
+    keys = draw(
+        st.lists(KEY_FAMILIES[family], min_size=8, max_size=60,
+                 unique=True)
+    )
+    mix = draw(st.sampled_from(MIXES))
+    n_loaded = draw(st.integers(1, len(keys)))
+    kinds = (
+        [OpKind.READ] * mix[0] + [OpKind.WRITE] * mix[1]
+        + [OpKind.DELETE] * mix[2]
+    )
+    raw = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, len(kinds) - 1),
+                st.integers(0, len(keys) - 1),
+            ),
+            min_size=20,
+            max_size=300,
+        )
+    )
+    ops = tuple(
+        Operation(i, kinds[k], keys[j],
+                  i if kinds[k] is OpKind.WRITE else None, 0)
+        for i, (k, j) in enumerate(raw)
+    )
+    seed = draw(st.integers(0, 2**31 - 1))
+    return Workload(
+        f"hyp-f{family}", "synthetic", keys[:n_loaded],
+        OperationStream(ops), seed,
+    )
+
+
+def run_engine(workload, vectorized):
+    cfg = replace(
+        scaled_dcart_config(max(len(workload.loaded_keys), 16)),
+        batch_size=64,
+        vectorized=vectorized,
+    )
+    acc = DcartAccelerator(config=cfg)
+    tree = acc.build_tree(workload)
+    result = acc.run(workload, tree=tree)
+    return result, tree
+
+
+@given(workloads())
+@settings(max_examples=40, deadline=None)
+def test_vec_matches_scalar_bit_for_bit(workload):
+    scalar_result, scalar_tree = run_engine(workload, vectorized=False)
+    vec_result, vec_tree = run_engine(workload, vectorized=True)
+    assert result_to_full_dict(scalar_result) == result_to_full_dict(
+        vec_result
+    )
+    # Both surviving trees must hold every ART invariant and agree on
+    # the final key/value contents.
+    assert_valid(scalar_tree)
+    assert_valid(vec_tree)
+    assert list(scalar_tree.items()) == list(vec_tree.items())
+
+
+@given(workloads(), st.booleans())
+@settings(max_examples=15, deadline=None)
+def test_vec_matches_scalar_under_ablation(workload, drop_shortcuts):
+    """The kernel path is exercised hardest with shortcuts disabled
+    (every op traverses); the value-aware-buffer ablation flips the
+    fast-path fetch variant instead."""
+    field = (
+        "enable_shortcuts" if drop_shortcuts else "value_aware_tree_buffer"
+    )
+    cfg = replace(
+        scaled_dcart_config(max(len(workload.loaded_keys), 16)),
+        batch_size=64,
+        **{field: False},
+    )
+    scalar = DcartAccelerator(config=replace(cfg, vectorized=False))
+    vec = DcartAccelerator(config=replace(cfg, vectorized=True))
+    assert result_to_full_dict(scalar.run(workload)) == result_to_full_dict(
+        vec.run(workload)
+    )
