@@ -1,0 +1,127 @@
+"""Content-hash incremental cache for reprolint runs.
+
+The cache is a single JSON file (default ``.reprolint-cache.json`` next
+to the repo's pyproject) with three layers of keying:
+
+* ``local_key`` — engine version + rule set + config + schema-lock
+  hash.  A mismatch drops every cached verdict.
+* per-file ``sha`` — sha256 of the file bytes.  A match lets the local
+  (per-file) diagnostics be replayed without re-running rules.
+* ``project_signature`` — hash of the config key plus *every* file's
+  ``(relpath, sha)``.  A match means nothing changed anywhere, so the
+  warm path replays both local and interprocedural diagnostics without
+  parsing a single file — this is what keeps ``repro lint`` warm runs
+  to hashing cost only.
+
+Diagnostics are stored path-relative so the cache survives a checkout
+moving; absolute paths are re-derived from the current scan.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.reprolint.diagnostics import Diagnostic
+
+CACHE_FORMAT = 1
+
+
+def load(path: Optional[str]) -> Optional[Dict[str, object]]:
+    """Read a cache DB; any corruption or version skew reads as a miss."""
+    if not path:
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            db = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(db, dict) or db.get("format") != CACHE_FORMAT:
+        return None
+    return db
+
+
+def _pack(diag: Diagnostic) -> List[object]:
+    return [diag.line, diag.col, diag.code, diag.message]
+
+
+def _unpack(path: str, row: Sequence[object]) -> Diagnostic:
+    line, col, code, message = row
+    return Diagnostic(
+        path=path, line=int(line), col=int(col),  # type: ignore[arg-type]
+        code=str(code), message=str(message),
+    )
+
+
+def report_from_entry(path: str, entry: Dict[str, object]):
+    """Rebuild one file's local :class:`FileReport` from its cache row."""
+    from repro.analysis.reprolint.engine import FileReport
+
+    report = FileReport(path=path)
+    error = entry.get("parse_error")
+    if error is not None:
+        report.parse_error = str(error)
+    for row in entry.get("diags", ()):  # type: ignore[union-attr]
+        report.diagnostics.append(_unpack(path, row))
+    return report
+
+
+def reports_from_cache(db: Dict[str, object], entries) -> List[object]:
+    """Rebuild the full report list on a whole-project cache hit."""
+    files: Dict[str, Dict[str, object]] = db.get("files", {})  # type: ignore[assignment]
+    project_rows: Dict[str, List[Sequence[object]]] = {}
+    for row in db.get("project_diags", ()):  # type: ignore[union-attr]
+        rel = str(row[0])
+        project_rows.setdefault(rel, []).append(row[1:])
+    reports = []
+    for ent in entries:
+        rel = str(ent["rel"])
+        path = str(ent["path"])
+        report = report_from_entry(path, files.get(rel, {}))
+        for row in project_rows.get(rel, ()):
+            report.diagnostics.append(_unpack(path, row))
+        report.diagnostics.sort()
+        reports.append(report)
+    return reports
+
+
+def save(
+    path: str,
+    local_key: str,
+    project_signature: str,
+    entries,
+    reports_by_rel,
+    local_diags: Dict[str, List[Diagnostic]],
+    project_diags: List[Tuple[str, Diagnostic]],
+) -> None:
+    """Write the cache DB atomically (tmp file + rename)."""
+    files: Dict[str, Dict[str, object]] = {}
+    for ent in entries:
+        rel = str(ent["rel"])
+        report = reports_by_rel.get(rel)
+        files[rel] = {
+            "sha": ent["sha"],
+            "parse_error": getattr(report, "parse_error", None),
+            "diags": [_pack(d) for d in local_diags.get(rel, ())],
+        }
+    db = {
+        "format": CACHE_FORMAT,
+        "local_key": local_key,
+        "project_signature": project_signature,
+        "files": files,
+        "project_diags": [
+            [rel] + _pack(diag) for rel, diag in project_diags
+        ],
+    }
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    try:
+        fd, tmp = tempfile.mkstemp(
+            prefix=".reprolint-cache.", suffix=".tmp", dir=directory
+        )
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(db, handle)
+        os.replace(tmp, path)
+    except OSError:
+        pass  # caching is best-effort; a failed write is just a cold run

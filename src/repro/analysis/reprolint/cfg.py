@@ -1,0 +1,282 @@
+"""Intraprocedural control-flow graphs and dominators.
+
+WAL01's commit-point typestate check is phrased over dominators: *every
+committed-state mutation must be dominated by a WAL event on all paths
+from function entry*.  This module builds the statement-level CFG that
+question is asked of.
+
+Blocks hold statement lists; compound statements (``if``/``while``/
+``for``/``with``/``match``) are appended to the block where their
+*header* expressions evaluate, and their bodies continue in successor
+blocks — so a scan of one statement must use :func:`header_exprs`, which
+yields only the expressions evaluated at that program point (never the
+nested body, and never nested ``def``/``class``/``lambda`` bodies).
+
+Approximations (documented in docs/STATIC_ANALYSIS.md): a ``try`` body
+may raise at any internal block boundary (every body block edges to
+every handler), ``with`` exception paths are ignored, and uncaught
+exceptions propagate via the function exit only from ``return``/
+``raise`` sites.  These make the dominator answer conservative for the
+commit-ordering property on the code shapes durability/ actually uses.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+
+@dataclass
+class Block:
+    index: int
+    stmts: List[ast.stmt] = field(default_factory=list)
+    succs: Set[int] = field(default_factory=set)
+
+
+@dataclass
+class CFG:
+    blocks: List[Block]
+    entry: int
+    exit: int
+    #: id(stmt) -> (block index, position within block)
+    stmt_at: Dict[int, Tuple[int, int]]
+
+    def predecessors(self) -> List[List[int]]:
+        preds: List[List[int]] = [[] for _ in self.blocks]
+        for block in self.blocks:
+            for succ in block.succs:
+                preds[succ].append(block.index)
+        return preds
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.blocks: List[Block] = []
+        self.entry = self._new()
+        self.exit = self._new()
+
+    def _new(self) -> int:
+        block = Block(index=len(self.blocks))
+        self.blocks.append(block)
+        return block.index
+
+    def _edge(self, src: int, dst: int) -> None:
+        self.blocks[src].succs.add(dst)
+
+    def _append(self, cur: Optional[int], stmt: ast.stmt) -> int:
+        if cur is None:
+            cur = self._new()  # dead code after return/raise/break
+        self.blocks[cur].stmts.append(stmt)
+        return cur
+
+    def process(
+        self,
+        body: List[ast.stmt],
+        cur: Optional[int],
+        loops: List[Tuple[int, int]],
+    ) -> Optional[int]:
+        for stmt in body:
+            if isinstance(stmt, ast.If):
+                cur = self._append(cur, stmt)
+                then = self._new()
+                self._edge(cur, then)
+                t_end = self.process(stmt.body, then, loops)
+                ends = [t_end]
+                if stmt.orelse:
+                    els = self._new()
+                    self._edge(cur, els)
+                    ends.append(self.process(stmt.orelse, els, loops))
+                else:
+                    ends.append(cur)  # false branch falls through
+                live = [e for e in ends if e is not None]
+                if not live:
+                    cur = None
+                    continue
+                join = self._new()
+                for end in live:
+                    self._edge(end, join)
+                cur = join
+            elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                cur = self._append(cur, stmt)
+                header = self._new()
+                self._edge(cur, header)
+                after = self._new()
+                body_blk = self._new()
+                self._edge(header, body_blk)
+                loops.append((header, after))
+                b_end = self.process(stmt.body, body_blk, loops)
+                loops.pop()
+                if b_end is not None:
+                    self._edge(b_end, header)
+                if stmt.orelse:
+                    els = self._new()
+                    self._edge(header, els)
+                    e_end = self.process(stmt.orelse, els, loops)
+                    if e_end is not None:
+                        self._edge(e_end, after)
+                else:
+                    self._edge(header, after)
+                cur = after
+            elif isinstance(stmt, ast.Try) or (
+                hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar)
+            ):
+                cur = self._append(cur, stmt)
+                first_body = len(self.blocks)
+                body_blk = self._new()
+                self._edge(cur, body_blk)
+                b_end = self.process(stmt.body, body_blk, loops)
+                last_body = len(self.blocks)
+                if b_end is not None and stmt.orelse:
+                    b_end = self.process(stmt.orelse, b_end, loops)
+                handler_ends: List[Optional[int]] = []
+                for handler in stmt.handlers:
+                    h_blk = self._new()
+                    # any body block may raise into any handler
+                    for idx in range(first_body, last_body):
+                        self._edge(idx, h_blk)
+                    handler_ends.append(
+                        self.process(handler.body, h_blk, loops)
+                    )
+                live = [e for e in [b_end] + handler_ends if e is not None]
+                if stmt.finalbody:
+                    fin = self._new()
+                    for end in live:
+                        self._edge(end, fin)
+                    f_end = self.process(stmt.finalbody, fin, loops)
+                    live = [f_end] if f_end is not None else []
+                if not live:
+                    cur = None
+                    continue
+                after = self._new()
+                for end in live:
+                    self._edge(end, after)
+                cur = after
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                cur = self._append(cur, stmt)
+                cur = self.process(stmt.body, cur, loops)
+            elif hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+                cur = self._append(cur, stmt)
+                ends: List[Optional[int]] = [cur]  # no case may match
+                for case in stmt.cases:
+                    c_blk = self._new()
+                    self._edge(cur, c_blk)
+                    ends.append(self.process(case.body, c_blk, loops))
+                live = [e for e in ends if e is not None]
+                join = self._new()
+                for end in live:
+                    self._edge(end, join)
+                cur = join
+            elif isinstance(stmt, (ast.Return, ast.Raise)):
+                cur = self._append(cur, stmt)
+                self._edge(cur, self.exit)
+                cur = None
+            elif isinstance(stmt, ast.Break):
+                cur = self._append(cur, stmt)
+                if loops:
+                    self._edge(cur, loops[-1][1])
+                cur = None
+            elif isinstance(stmt, ast.Continue):
+                cur = self._append(cur, stmt)
+                if loops:
+                    self._edge(cur, loops[-1][0])
+                cur = None
+            else:
+                cur = self._append(cur, stmt)
+        return cur
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """CFG of one function body (``FunctionDef``/``AsyncFunctionDef``)."""
+    builder = _Builder()
+    end = builder.process(list(getattr(func, "body", [])), builder.entry, [])
+    if end is not None:
+        builder._edge(end, builder.exit)
+    stmt_at: Dict[int, Tuple[int, int]] = {}
+    for block in builder.blocks:
+        for pos, stmt in enumerate(block.stmts):
+            stmt_at.setdefault(id(stmt), (block.index, pos))
+    return CFG(
+        blocks=builder.blocks,
+        entry=builder.entry,
+        exit=builder.exit,
+        stmt_at=stmt_at,
+    )
+
+
+def dominators(cfg: CFG) -> List[Set[int]]:
+    """Per-block dominator sets (iterative dataflow, to fixpoint)."""
+    n = len(cfg.blocks)
+    preds = cfg.predecessors()
+    full = set(range(n))
+    dom: List[Set[int]] = [set(full) for _ in range(n)]
+    dom[cfg.entry] = {cfg.entry}
+    changed = True
+    while changed:
+        changed = False
+        for b in range(n):
+            if b == cfg.entry:
+                continue
+            if preds[b]:
+                new = set(full)
+                for p in preds[b]:
+                    new &= dom[p]
+            else:
+                new = set(full)  # unreachable: dominated by everything
+            new.add(b)
+            if new != dom[b]:
+                dom[b] = new
+                changed = True
+    return dom
+
+
+def header_exprs(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """AST nodes evaluated *at* ``stmt``'s program point.
+
+    For compound statements this is the header only (test / iter /
+    context managers / match subject), never the nested body — bodies
+    live in their own CFG blocks.  Nested ``def``/``class`` bodies are
+    never entered (they execute when called, not here).
+    """
+    if isinstance(stmt, ast.If):
+        roots: List[ast.AST] = [stmt.test]
+    elif isinstance(stmt, ast.While):
+        roots = [stmt.test]
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        roots = [stmt.target, stmt.iter]
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        roots = []
+        for item in stmt.items:
+            roots.append(item.context_expr)
+            if item.optional_vars is not None:
+                roots.append(item.optional_vars)
+    elif hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+        roots = [stmt.subject]
+    elif isinstance(stmt, ast.Try) or (
+        hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar)
+    ):
+        roots = []
+    elif isinstance(
+        stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        roots = list(stmt.decorator_list)
+    else:
+        roots = [stmt]
+    for root in roots:
+        yield from walk_shallow(root)
+
+
+def walk_shallow(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested def/class/lambda."""
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                 ast.Lambda),
+            ):
+                continue
+            stack.append(child)

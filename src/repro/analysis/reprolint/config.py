@@ -19,6 +19,7 @@ relative to the scanned root (e.g. ``core/sou.py`` when scanning
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -63,6 +64,30 @@ DEFAULT_RULE_SCOPES: Dict[str, Dict[str, List[str]]] = {
         "include": ["durability/"],
         "exclude": [],
     },
+    # Interprocedural rules (reprolint v2).  These analyze the whole
+    # scanned tree regardless of scope; the scope decides where their
+    # *diagnostics* may land.
+    "CYC02": {
+        "include": [
+            "core/", "engines/", "faults/", "durability/", "harness/",
+            "model/", "serve/", "cluster/", "memsim/", "concurrency/",
+        ],
+        "exclude": ["model/costs.py"],
+    },
+    "WAL01": {
+        "include": ["durability/", "cluster/replication.py"],
+        "exclude": [],
+    },
+    "PAR02": {
+        "include": [],
+        # logging configuration is an explicit process-local side
+        # channel (PAR01's carve-out) and never feeds results
+        "exclude": ["log.py"],
+    },
+    "SCHEMA01": {
+        "include": [],
+        "exclude": [],
+    },
 }
 
 #: Files never scanned, regardless of rule scope.
@@ -91,6 +116,9 @@ class LintConfig:
     scopes: Dict[str, RuleScope] = field(default_factory=dict)
     exclude: Sequence[str] = ()
     disabled_rules: Sequence[str] = ()
+    #: Absolute path of the SCHEMA01 lockfile; None leaves SCHEMA01
+    #: inert (set via ``[tool.reprolint] schemas-lock`` in pyproject).
+    schemas_lock: Optional[str] = None
 
     def scope_for(self, code: str) -> RuleScope:
         return self.scopes.get(code, RuleScope())
@@ -165,8 +193,17 @@ def load_config(pyproject_path: Optional[str] = None) -> LintConfig:
                 include=tuple(entry.get("include", prior.include)),
                 exclude=tuple(entry.get("exclude", prior.exclude)),
             )
+    schemas_lock = section.get("schemas-lock") or section.get(
+        "schemas_lock"
+    )
+    if isinstance(schemas_lock, str):
+        root = os.path.dirname(os.path.abspath(pyproject_path))
+        schemas_lock = os.path.normpath(os.path.join(root, schemas_lock))
+    else:
+        schemas_lock = None
     return LintConfig(
         scopes=scopes,
         exclude=tuple(section.get("exclude", base.exclude)),
         disabled_rules=tuple(section.get("disable", ())),
+        schemas_lock=schemas_lock,
     )

@@ -35,6 +35,10 @@ from repro.analysis.reprolint.diagnostics import Diagnostic
 #: Meta-rule code for malformed disable pragmas.
 META_CODE = "LINT00"
 
+#: Bumped whenever rule semantics change — part of the incremental-cache
+#: key, so a reprolint upgrade invalidates cached verdicts.
+ENGINE_VERSION = "2.0"
+
 _PRAGMA_RE = re.compile(
     r"#\s*reprolint:\s*disable=(?P<codes>[A-Za-z0-9_,\s]+?)"
     r"(?:\s*--\s*(?P<why>.*\S))?\s*$"
@@ -65,6 +69,27 @@ class Rule:
             code=self.code,
             message=message,
         )
+
+
+class ProjectRule(Rule):
+    """Base class for interprocedural (whole-program) rule families.
+
+    Project rules run in pass 2, over the
+    :class:`~repro.analysis.reprolint.project.ProjectModel` assembled
+    from every scanned file, and may emit diagnostics in *any* file.
+    The engine applies scope filtering and disable pragmas to each
+    emitted diagnostic exactly as for per-file rules.
+    """
+
+    def check(
+        self, tree: ast.Module, path: str, source: str
+    ) -> Iterator[Diagnostic]:
+        return iter(())
+
+    def check_project(
+        self, project: "object", config: LintConfig
+    ) -> Iterator[Diagnostic]:
+        raise NotImplementedError
 
 
 @dataclass
@@ -117,6 +142,38 @@ def parse_pragmas(source: str) -> List[Pragma]:
     return pragmas
 
 
+def pragma_table(
+    source: str, path: str, known_codes: Set[str]
+) -> Tuple[Dict[int, Set[str]], List[Diagnostic]]:
+    """Per-line disabled-code sets plus LINT00 meta-diagnostics."""
+    disabled_at: Dict[int, Set[str]] = {}
+    meta: List[Diagnostic] = []
+    for pragma in parse_pragmas(source):
+        if pragma.justification is None:
+            meta.append(
+                Diagnostic(
+                    path=path, line=pragma.line, col=1, code=META_CODE,
+                    message=(
+                        "disable pragma without justification: write "
+                        "'# reprolint: disable=CODE -- why the contract "
+                        "does not apply here'"
+                    ),
+                )
+            )
+            continue
+        unknown = [c for c in pragma.codes if c not in known_codes]
+        if unknown:
+            meta.append(
+                Diagnostic(
+                    path=path, line=pragma.line, col=1, code=META_CODE,
+                    message=f"unknown rule code(s) in disable pragma: "
+                            f"{', '.join(unknown)}",
+                )
+            )
+        disabled_at.setdefault(pragma.line, set()).update(pragma.codes)
+    return disabled_at, meta
+
+
 def lint_source(
     source: str,
     path: str,
@@ -136,32 +193,9 @@ def lint_source(
         report.parse_error = f"{path}:{exc.lineno or 0}: syntax error: {exc.msg}"
         return report
 
-    pragmas = parse_pragmas(source)
     known_codes = {rule.code for rule in rules} | {META_CODE}
-    disabled_at: Dict[int, Set[str]] = {}
-    for pragma in pragmas:
-        if pragma.justification is None:
-            report.diagnostics.append(
-                Diagnostic(
-                    path=path, line=pragma.line, col=1, code=META_CODE,
-                    message=(
-                        "disable pragma without justification: write "
-                        "'# reprolint: disable=CODE -- why the contract "
-                        "does not apply here'"
-                    ),
-                )
-            )
-            continue
-        unknown = [c for c in pragma.codes if c not in known_codes]
-        if unknown:
-            report.diagnostics.append(
-                Diagnostic(
-                    path=path, line=pragma.line, col=1, code=META_CODE,
-                    message=f"unknown rule code(s) in disable pragma: "
-                            f"{', '.join(unknown)}",
-                )
-            )
-        disabled_at.setdefault(pragma.line, set()).update(pragma.codes)
+    disabled_at, meta_diags = pragma_table(source, path, known_codes)
+    report.diagnostics.extend(meta_diags)
 
     for rule in rules:
         if not config.rule_enabled(rule.code):
@@ -243,3 +277,207 @@ def collect_diagnostics(reports: Iterable[FileReport]) -> List[Diagnostic]:
     for report in reports:
         out.extend(report.diagnostics)
     return out
+
+
+@dataclass
+class ProjectLintResult:
+    """Outcome of a two-pass (local + interprocedural) lint run."""
+
+    reports: List[FileReport]
+    files_scanned: int
+    cache_hit: bool = False
+    reused_files: int = 0
+    project: Optional[object] = None  # ProjectModel when built this run
+
+
+def _root_packages(paths: Sequence[str]) -> List[str]:
+    """Root package names the scanned relpaths live under."""
+    packages: List[str] = []
+    for root in paths:
+        root = os.path.normpath(root)
+        if os.path.isdir(root):
+            name = os.path.basename(root)
+            if name and name not in packages:
+                packages.append(name)
+    return packages
+
+
+def _config_key(config: LintConfig, rules: Sequence[Rule]) -> str:
+    """Cache key covering everything but file contents.
+
+    Any change to the engine version, rule set, scoping, or the schema
+    lockfile invalidates cached verdicts.
+    """
+    import hashlib
+    import json
+
+    lock_hash = ""
+    lock_path = getattr(config, "schemas_lock", None)
+    if lock_path:
+        try:
+            with open(lock_path, "rb") as handle:
+                lock_hash = hashlib.sha256(handle.read()).hexdigest()
+        except OSError:
+            lock_hash = "missing"
+    payload = {
+        "engine": ENGINE_VERSION,
+        "rules": sorted(rule.code for rule in rules),
+        "scopes": {
+            code: {
+                "include": list(scope.include),
+                "exclude": list(scope.exclude),
+            }
+            for code, scope in sorted(config.scopes.items())
+        },
+        "exclude": list(config.exclude),
+        "disabled": sorted(config.disabled_rules),
+        "schemas_lock": lock_hash,
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def lint_project(
+    paths: Sequence[str],
+    rules: Sequence[Rule],
+    config: Optional[LintConfig] = None,
+    cache_path: Optional[str] = None,
+    packages: Optional[Sequence[str]] = None,
+) -> ProjectLintResult:
+    """Two-pass lint: per-file rules, then interprocedural project rules.
+
+    With ``cache_path`` set, verdicts are cached keyed on content
+    hashes: an unchanged tree skips parsing entirely (the warm path
+    only re-hashes files), and an edit re-lints just the changed files
+    locally plus one whole-project pass.
+    """
+    import hashlib
+
+    from repro.analysis.reprolint import cache as cache_mod
+    from repro.analysis.reprolint.project import ProjectModel
+
+    if config is None:
+        config = default_config()
+    local_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [
+        r for r in rules
+        if isinstance(r, ProjectRule) and config.rule_enabled(r.code)
+    ]
+    known_codes = {rule.code for rule in rules} | {META_CODE}
+
+    entries: List[Dict[str, object]] = []
+    for full, rel in iter_python_files(paths, exclude=config.exclude):
+        try:
+            with open(full, "rb") as handle:
+                raw = handle.read()
+            source = raw.decode("utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            entries.append({
+                "path": full, "rel": rel, "source": None, "sha": "",
+                "error": f"{full}: unreadable: {exc}",
+            })
+            continue
+        entries.append({
+            "path": full, "rel": rel, "source": source,
+            "sha": hashlib.sha256(raw).hexdigest(), "error": None,
+        })
+
+    config_key = _config_key(config, rules)
+    signature = hashlib.sha256(
+        (config_key + "".join(
+            f"\n{ent['rel']}\0{ent['sha']}" for ent in entries
+        )).encode("utf-8")
+    ).hexdigest()
+
+    db = cache_mod.load(cache_path) if cache_path else None
+    if db is not None and db.get("project_signature") == signature:
+        reports = cache_mod.reports_from_cache(db, entries)
+        return ProjectLintResult(
+            reports=reports, files_scanned=len(entries),
+            cache_hit=True, reused_files=len(entries),
+        )
+
+    cached_files: Dict[str, Dict[str, object]] = {}
+    if db is not None and db.get("local_key") == config_key:
+        cached_files = db.get("files", {})  # type: ignore[assignment]
+
+    reports_by_rel: Dict[str, FileReport] = {}
+    local_diags: Dict[str, List[Diagnostic]] = {}
+    tables: Dict[str, Dict[int, Set[str]]] = {}
+    parsed: List[Tuple[str, str, ast.Module, str]] = []
+    reused = 0
+    for ent in entries:
+        full = str(ent["path"])
+        rel = str(ent["rel"])
+        if ent["error"] is not None:
+            report = FileReport(path=full)
+            report.parse_error = str(ent["error"])
+            reports_by_rel[rel] = report
+            local_diags[rel] = []
+            continue
+        source = str(ent["source"])
+        try:
+            tree = ast.parse(source, filename=full)
+        except SyntaxError as exc:
+            report = FileReport(path=full)
+            report.parse_error = (
+                f"{full}:{exc.lineno or 0}: syntax error: {exc.msg}"
+            )
+            reports_by_rel[rel] = report
+            local_diags[rel] = []
+            continue
+        disabled_at, meta_diags = pragma_table(source, full, known_codes)
+        tables[rel] = disabled_at
+        parsed.append((full, rel, tree, source))
+        prior = cached_files.get(rel)
+        if prior is not None and prior.get("sha") == ent["sha"]:
+            report = cache_mod.report_from_entry(full, prior)
+            reused += 1
+        else:
+            report = FileReport(path=full)
+            report.diagnostics.extend(meta_diags)
+            for rule in local_rules:
+                if not config.rule_enabled(rule.code):
+                    continue
+                if not config.scope_for(rule.code).matches(rel):
+                    continue
+                for diag in rule.check(tree, full, source):
+                    if rule.code in disabled_at.get(diag.line, ()):
+                        continue
+                    report.diagnostics.append(diag)
+        reports_by_rel[rel] = report
+        local_diags[rel] = list(report.diagnostics)
+
+    if packages is None:
+        packages = _root_packages(paths)
+    project = ProjectModel.build(parsed, packages=packages)
+    project_diags: List[Tuple[str, Diagnostic]] = []
+    for rule in project_rules:
+        scope = config.scope_for(rule.code)
+        for diag in rule.check_project(project, config):
+            rel_of = project.relpath_of(diag.path)
+            if rel_of is None:
+                continue
+            if not scope.matches(rel_of):
+                continue
+            if diag.code in tables.get(rel_of, {}).get(diag.line, ()):
+                continue
+            reports_by_rel[rel_of].diagnostics.append(diag)
+            project_diags.append((rel_of, diag))
+
+    reports = []
+    for ent in entries:
+        report = reports_by_rel[str(ent["rel"])]
+        report.diagnostics.sort()
+        reports.append(report)
+
+    if cache_path:
+        cache_mod.save(
+            cache_path, config_key, signature, entries,
+            reports_by_rel, local_diags, project_diags,
+        )
+    return ProjectLintResult(
+        reports=reports, files_scanned=len(entries),
+        cache_hit=False, reused_files=reused, project=project,
+    )

@@ -6,6 +6,7 @@ from typing import List
 
 from repro.analysis.reprolint.engine import Rule
 from repro.analysis.reprolint.rules.costs import Cost01RawCycleLiteral
+from repro.analysis.reprolint.rules.cycles import Cyc02UnbilledCycles
 from repro.analysis.reprolint.rules.determinism import (
     Det01UnseededRandomness,
     Det02WallClock,
@@ -13,6 +14,11 @@ from repro.analysis.reprolint.rules.determinism import (
 )
 from repro.analysis.reprolint.rules.durability import Dur01NonAtomicWrite
 from repro.analysis.reprolint.rules.parallel import Par01WorkerSharedState
+from repro.analysis.reprolint.rules.races import Par02CrossProcessRace
+from repro.analysis.reprolint.rules.schema import Schema01ReportSchemaLock
+from repro.analysis.reprolint.rules.walcommit import (
+    Wal01CommitPointTypestate,
+)
 
 ALL_RULE_CLASSES = (
     Det01UnseededRandomness,
@@ -21,6 +27,10 @@ ALL_RULE_CLASSES = (
     Cost01RawCycleLiteral,
     Par01WorkerSharedState,
     Dur01NonAtomicWrite,
+    Cyc02UnbilledCycles,
+    Wal01CommitPointTypestate,
+    Par02CrossProcessRace,
+    Schema01ReportSchemaLock,
 )
 
 

@@ -1,0 +1,330 @@
+"""CYC02 — unbilled-cycles taint: cost quantities must reach a sink.
+
+The whole reproduction argues from its cycle-accurate cost model
+(``model/costs.py``); PR 5 fixed four timing bugs that were all the
+same shape — *a cost term computed and then silently dropped*.  CYC02
+machine-checks that shape project-wide.
+
+**Sources** (what makes an expression cost-tainted):
+
+* a call to any function defined in ``model/costs.py`` (the whole
+  module is the cost model), or to any project function whose *name*
+  matches the billing pattern (``*_cycles``, ``*_ns``, ``*_us``,
+  ``*_seconds``, ``*latency*``) and that returns a value;
+* transitively, a call to any function whose **return expression** is
+  itself cost-tainted — computed to fixpoint over the call graph, which
+  is how e.g. ``ReplicaShard.ship`` (returns a ready *cycle* built from
+  ``ClusterCosts``) becomes a source without a billing-suffixed name;
+* an attribute read of a billing-suffixed field reached through a
+  cost-model object (``self.costs.promotion_cycles``,
+  ``costs.link_latency_cycles``, any ``self.*`` inside a ``*Costs``
+  class), or a name imported from ``model/costs.py``
+  (``ENGINE_CONTENTION_PENALTY_NS``).
+
+**Failing patterns**:
+
+* an expression *statement* whose value is a cost-tainted call — the
+  quantity is computed and discarded on the spot;
+* a local variable assigned a cost-tainted expression and never read
+  anywhere in the function (a dead cost store).
+
+**Sinks** are any data-flow use: once a tainted value is read — added
+to a timeline, returned, compared, passed on — CYC02 is satisfied.
+The rule is a *dropped-term* detector, not a full escape analysis:
+values smuggled through tuples or object fields are not tracked
+(documented limitation in docs/STATIC_ANALYSIS.md).
+
+**Escape hatch**: ``# reprolint: disable=CYC02 -- <why>`` on the line,
+for returns that are genuinely informational.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.analysis.reprolint.config import LintConfig
+from repro.analysis.reprolint.diagnostics import Diagnostic
+from repro.analysis.reprolint.engine import ProjectRule
+from repro.analysis.reprolint.project import (
+    FunctionInfo,
+    ModuleInfo,
+    ProjectModel,
+)
+from repro.analysis.reprolint.rules._util import dotted_name
+
+#: Billing-suffixed identifier: a cycles/ns/us/seconds/latency segment.
+_COST_NAME = re.compile(r"(^|_)(cycles?|ns|us|seconds|latency)(_|$)")
+
+
+def _iter_stmts(body: List[ast.stmt]) -> Iterator[ast.stmt]:
+    """Statements of a function in source order, skipping nested defs."""
+    for stmt in body:
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        yield stmt
+        for attr in ("body", "orelse", "finalbody"):
+            sub = getattr(stmt, attr, None)
+            if sub:
+                yield from _iter_stmts(sub)
+        for handler in getattr(stmt, "handlers", ()):
+            yield from _iter_stmts(handler.body)
+        for case in getattr(stmt, "cases", ()):
+            yield from _iter_stmts(case.body)
+
+
+def _is_costs_module(relpath: str) -> bool:
+    return relpath == "costs.py" or relpath.endswith("/costs.py")
+
+
+def _has_value_return(func: ast.AST) -> bool:
+    for stmt in _iter_stmts(getattr(func, "body", [])):
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            if isinstance(stmt.value, ast.Constant) \
+                    and stmt.value.value is None:
+                continue
+            return True
+    return False
+
+
+def _chain_parts(node: ast.AST) -> List[str]:
+    """Name segments of an attribute chain, outermost base first."""
+    dn = dotted_name(node)
+    if dn is not None:
+        return dn.split(".")
+    parts: List[str] = []
+    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Call)):
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        else:
+            node = node.func
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return list(reversed(parts))
+
+
+class _Taint:
+    """Per-project cost-taint oracle shared by fixpoint and reporting."""
+
+    def __init__(self, project: ProjectModel) -> None:
+        self.project = project
+        self.cost_funcs: Set[str] = set()
+        for relpath, module in project.modules.items():
+            if not _is_costs_module(relpath):
+                continue
+            for info in module.functions.values():
+                if info.name != "__init__":
+                    self.cost_funcs.add(info.key)
+        for info in project.functions.values():
+            if _COST_NAME.search(info.name.lower()) \
+                    and _has_value_return(info.node):
+                self.cost_funcs.add(info.key)
+
+    def run_fixpoint(self) -> None:
+        changed = True
+        rounds = 0
+        while changed and rounds < 20:
+            changed = False
+            rounds += 1
+            for module in self.project.modules.values():
+                for info in module.functions.values():
+                    if info.key in self.cost_funcs:
+                        continue
+                    if self._returns_tainted(module, info):
+                        self.cost_funcs.add(info.key)
+                        changed = True
+
+    def _returns_tainted(
+        self, module: ModuleInfo, info: FunctionInfo
+    ) -> bool:
+        tainted_locals = self.tainted_locals(module, info)
+        for stmt in _iter_stmts(info.node.body):  # type: ignore[attr-defined]
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                if self.expr_tainted(
+                    module, info, stmt.value, tainted_locals
+                ):
+                    return True
+        return False
+
+    def tainted_locals(
+        self, module: ModuleInfo, info: FunctionInfo
+    ) -> Dict[str, ast.stmt]:
+        """name -> the assignment that tainted it (source order, 1 pass)."""
+        tainted: Dict[str, ast.stmt] = {}
+        for stmt in _iter_stmts(info.node.body):  # type: ignore[attr-defined]
+            target: Optional[str] = None
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                target, value = stmt.targets[0].id, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name) \
+                    and stmt.value is not None:
+                target, value = stmt.target.id, stmt.value
+            if target is None or value is None:
+                continue
+            if self.expr_tainted(module, info, value, tainted):
+                tainted.setdefault(target, stmt)
+        return tainted
+
+    def expr_tainted(
+        self,
+        module: ModuleInfo,
+        info: FunctionInfo,
+        expr: ast.AST,
+        tainted_locals: Dict[str, ast.stmt],
+    ) -> bool:
+        # Comparisons and boolean logic yield decisions, not quantities:
+        # a cost read inside them is a *use*, and the result is clean.
+        stack: List[ast.AST] = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.Compare, ast.BoolOp)):
+                continue
+            if isinstance(node, ast.Call) \
+                    and self.call_tainted(module, info, node):
+                return True
+            if isinstance(node, ast.Attribute) \
+                    and isinstance(node.ctx, ast.Load) \
+                    and self._attr_tainted(module, info, node):
+                return True
+            if isinstance(node, ast.Name) \
+                    and isinstance(node.ctx, ast.Load):
+                if node.id in tainted_locals:
+                    return True
+                if self._name_tainted(module, node.id):
+                    return True
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef,
+                     ast.ClassDef, ast.Lambda),
+                ):
+                    continue
+                stack.append(child)
+        return False
+
+    def call_tainted(
+        self, module: ModuleInfo, info: FunctionInfo, call: ast.Call
+    ) -> bool:
+        resolved, via_fallback = self.project.resolve_call_detailed(
+            module, call, class_name=info.class_name
+        )
+        if resolved:
+            if via_fallback:
+                # Method-name fallback unions heterogeneous receivers
+                # (every ``run`` in the project); only a unanimous
+                # candidate set is evidence the call is cost-valued.
+                return all(r.key in self.cost_funcs for r in resolved)
+            return any(r.key in self.cost_funcs for r in resolved)
+        parts = _chain_parts(call.func)
+        if not parts:
+            return False
+        last = parts[-1].lower()
+        if not _COST_NAME.search(last):
+            return False
+        return any("cost" in part.lower() for part in parts[:-1])
+
+    def _attr_tainted(
+        self, module: ModuleInfo, info: FunctionInfo, node: ast.Attribute
+    ) -> bool:
+        if not _COST_NAME.search(node.attr.lower()):
+            return False
+        parts = _chain_parts(node)
+        base_parts = parts[:-1] if parts else []
+        if any("cost" in part.lower() for part in base_parts):
+            return True
+        if base_parts and base_parts[0] in ("self", "cls") \
+                and info.class_name and "cost" in info.class_name.lower():
+            return True
+        if base_parts:
+            target = module.imports.get(base_parts[0])
+            if target and "cost" in target.lower():
+                return True
+        return False
+
+    def _name_tainted(self, module: ModuleInfo, name: str) -> bool:
+        target = module.imports.get(name)
+        if not target:
+            return False
+        terminal = target.split(".")[-1].lower()
+        return "cost" in target.lower() \
+            and bool(_COST_NAME.search(terminal))
+
+
+class Cyc02UnbilledCycles(ProjectRule):
+    """CYC02 — cost quantity computed but never billed or used.
+
+    **Failing pattern**: a statement-level call whose cost-valued
+    result is discarded, or a local assigned a cost-derived expression
+    that is never read in the function.  Cost-ness is computed
+    interprocedurally: direct calls into ``model/costs.py``, billing-
+    suffixed functions, and (to fixpoint) any function returning a
+    tainted expression all count as sources.
+
+    **Contract**: every cycle/ns/seconds quantity the model produces
+    flows into a billing sink (Timeline, RunResult, coordinator
+    accounting) — the four PR 5 timing bugs were all silent drops of
+    exactly such terms.
+
+    **Escape hatch**: ``# reprolint: disable=CYC02 -- <why>`` for
+    results that are genuinely informational at that call site.
+    """
+
+    code = "CYC02"
+    name = "unbilled-cycles"
+
+    def check_project(
+        self, project: ProjectModel, config: LintConfig
+    ) -> Iterator[Diagnostic]:
+        taint = _Taint(project)
+        taint.run_fixpoint()
+        scope = config.scope_for(self.code)
+        for relpath, module in project.modules.items():
+            if not scope.matches(relpath):
+                continue
+            for info in module.functions.values():
+                yield from self._check_function(module, info, taint)
+
+    def _check_function(
+        self, module: ModuleInfo, info: FunctionInfo, taint: _Taint
+    ) -> Iterator[Diagnostic]:
+        func = info.node
+        loads: Set[str] = set()
+        for node in ast.walk(func):  # type: ignore[arg-type]
+            if isinstance(node, ast.Name) \
+                    and isinstance(node.ctx, ast.Load):
+                loads.add(node.id)
+            elif isinstance(node, ast.AugAssign) \
+                    and isinstance(node.target, ast.Name):
+                loads.add(node.target.id)
+            elif isinstance(node, (ast.Global, ast.Nonlocal)):
+                loads.update(node.names)
+
+        tainted_locals = taint.tainted_locals(module, info)
+        for stmt in _iter_stmts(func.body):  # type: ignore[attr-defined]
+            if isinstance(stmt, ast.Expr) \
+                    and isinstance(stmt.value, ast.Call) \
+                    and taint.call_tainted(module, info, stmt.value):
+                callee = dotted_name(stmt.value.func) or "<call>"
+                yield self.diagnostic(
+                    module.path, stmt,
+                    f"cost-valued result of '{callee}(...)' is discarded "
+                    f"in '{info.qualname}' — bill it, use it, or disable "
+                    f"with a justification",
+                )
+        for name, stmt in tainted_locals.items():
+            if name in loads:
+                continue
+            yield self.diagnostic(
+                module.path, stmt,
+                f"cost-derived value assigned to '{name}' in "
+                f"'{info.qualname}' is never billed or used "
+                f"(dead cost store)",
+            )

@@ -1,0 +1,325 @@
+"""PAR02 — cross-process race detection over the call graph.
+
+PAR01 (PR 4) checks worker *modules* for shared-state mutation; it
+cannot see a worker that calls into another module which mutates a
+global there.  PAR02 closes that hole: it finds every function handed
+to a process pool (``pool.submit(f, ...)``, ``pool.map``-style calls,
+``worker=`` keyword arguments, and ``worker=<fn>`` parameter
+defaults), walks the approximate call graph from those roots, and
+flags, in *any* reachable function:
+
+* mutation of module-level state (``global`` declarations, stores or
+  in-place mutator calls whose base is a module-level binding) — the
+  canonical ``--jobs 1`` vs ``--jobs N`` divergence;
+* mutation of a **shared mutable default argument** (a ``def f(x=[])``
+  list/dict/set default the function then mutates) — shared within a
+  worker process across cells, invisible across processes;
+* ``nonlocal`` in a *root* function itself (a closure cell crossing
+  the submission boundary); ``nonlocal`` in merely-reachable functions
+  is process-local and is PAR01's business inside worker modules.
+
+The call graph is may-resolution (see ``project.py``): unresolvable
+dynamic dispatch falls back to every project method of that name, so
+reachability over-approximates — by design, since the simulated paths
+are required to be mutation-free anyway.
+
+**Escape hatch**: ``# reprolint: disable=PAR02 -- <why>`` for
+process-local caches that provably cannot alter results.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.reprolint.config import LintConfig
+from repro.analysis.reprolint.diagnostics import Diagnostic
+from repro.analysis.reprolint.engine import ProjectRule
+from repro.analysis.reprolint.project import (
+    FunctionInfo,
+    ModuleInfo,
+    ProjectModel,
+)
+from repro.analysis.reprolint.rules.parallel import (
+    _MUTATORS,
+    _base_name,
+)
+
+_SUBMIT_METHODS = frozenset(("submit", "apply_async"))
+_MAP_METHODS = frozenset(("map", "imap", "imap_unordered", "starmap"))
+_MAX_PATH = 8
+
+
+def _resolve_ref(
+    project: ProjectModel, module: ModuleInfo, node: ast.AST
+) -> Optional[FunctionInfo]:
+    """Resolve a function *reference* (not a call) conservatively."""
+    if isinstance(node, ast.Name):
+        info = module.functions.get(node.id)
+        if info is not None:
+            return info
+        target = module.imports.get(node.id)
+        if target is not None:
+            return project.resolve_symbol(target)
+        return None
+    if isinstance(node, ast.Attribute):
+        parts: List[str] = []
+        base: ast.AST = node
+        while isinstance(base, ast.Attribute):
+            parts.append(base.attr)
+            base = base.value
+        if not isinstance(base, ast.Name):
+            return None
+        parts.append(base.id)
+        parts.reverse()
+        target = module.imports.get(parts[0])
+        if target is not None:
+            return project.resolve_symbol(
+                ".".join([target] + parts[1:])
+            )
+        return project.resolve_symbol(".".join(parts))
+    return None
+
+
+def _pool_receiver(func: ast.Attribute) -> bool:
+    base = _base_name(func)
+    lowered = base.lower()
+    return any(hint in lowered for hint in ("pool", "executor", "exec"))
+
+
+def _worker_roots(
+    project: ProjectModel,
+) -> List[Tuple[FunctionInfo, str]]:
+    """Every function statically handed to a process pool, with how."""
+    roots: List[Tuple[FunctionInfo, str]] = []
+    seen: Set[str] = set()
+
+    def add(info: Optional[FunctionInfo], how: str) -> None:
+        if info is not None and info.key not in seen:
+            seen.add(info.key)
+            roots.append((info, how))
+
+    for module in project.modules.values():
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if func.attr in _SUBMIT_METHODS and node.args:
+                    add(
+                        _resolve_ref(project, module, node.args[0]),
+                        f".{func.attr}()",
+                    )
+                elif func.attr in _MAP_METHODS and node.args \
+                        and _pool_receiver(func):
+                    add(
+                        _resolve_ref(project, module, node.args[0]),
+                        f".{func.attr}()",
+                    )
+            for keyword in node.keywords:
+                if keyword.arg and "worker" in keyword.arg:
+                    add(
+                        _resolve_ref(project, module, keyword.value),
+                        f"{keyword.arg}=",
+                    )
+        for info in module.functions.values():
+            args = info.node.args  # type: ignore[attr-defined]
+            positional = args.posonlyargs + args.args
+            defaults = args.defaults
+            for param, default in zip(
+                positional[len(positional) - len(defaults):], defaults
+            ):
+                if "worker" in param.arg:
+                    add(
+                        _resolve_ref(project, module, default),
+                        f"default of '{param.arg}'",
+                    )
+            for param, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+                if kw_default is not None and "worker" in param.arg:
+                    add(
+                        _resolve_ref(project, module, kw_default),
+                        f"default of '{param.arg}'",
+                    )
+    return roots
+
+
+def _reachable(
+    project: ProjectModel, roots: List[Tuple[FunctionInfo, str]]
+) -> Dict[str, Tuple[FunctionInfo, List[str]]]:
+    """BFS over the call graph: key -> (info, sample call path)."""
+    reached: Dict[str, Tuple[FunctionInfo, List[str]]] = {}
+    queue: List[Tuple[FunctionInfo, List[str]]] = []
+    for info, _how in roots:
+        if info.key not in reached:
+            reached[info.key] = (info, [info.qualname])
+            queue.append((info, [info.qualname]))
+    while queue:
+        info, path = queue.pop(0)
+        module = project.modules[info.relpath]
+        for node in ast.walk(info.node):  # type: ignore[arg-type]
+            if not isinstance(node, ast.Call):
+                continue
+            for cand in project.resolve_call(
+                module, node, class_name=info.class_name
+            ):
+                if cand.key in reached:
+                    continue
+                next_path = (path + [cand.qualname])[-_MAX_PATH:]
+                reached[cand.key] = (cand, next_path)
+                queue.append((cand, next_path))
+    return reached
+
+
+def _mutable_defaults(func: ast.AST) -> Dict[str, ast.AST]:
+    """Parameter name -> default node, for mutable literal defaults."""
+    args = func.args  # type: ignore[attr-defined]
+    out: Dict[str, ast.AST] = {}
+    positional = args.posonlyargs + args.args
+    defaults = args.defaults
+    pairs = list(zip(
+        positional[len(positional) - len(defaults):], defaults
+    ))
+    pairs += [
+        (param, kw_default)
+        for param, kw_default in zip(args.kwonlyargs, args.kw_defaults)
+        if kw_default is not None
+    ]
+    for param, default in pairs:
+        if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+            out[param.arg] = default
+        elif isinstance(default, ast.Call) \
+                and isinstance(default.func, ast.Name) \
+                and default.func.id in ("list", "dict", "set", "deque"):
+            out[param.arg] = default
+    return out
+
+
+class Par02CrossProcessRace(ProjectRule):
+    """PAR02 — shared-state mutation reachable from a pool worker.
+
+    **Failing pattern**: starting from every function handed to a
+    ProcessPool (submit/map/worker= sites), any transitively called
+    function that declares ``global``, stores into a module-level
+    binding, in-place-mutates one, or mutates a mutable default
+    argument.
+
+    **Contract**: bit-identical ``--jobs N`` — worker processes share
+    nothing, so any mutation of interpreter-global state diverges
+    between fork layouts and silently breaks sweep reproducibility.
+
+    **Escape hatch**: ``# reprolint: disable=PAR02 -- <why>``.
+    """
+
+    code = "PAR02"
+    name = "cross-process-race"
+
+    def check_project(
+        self, project: ProjectModel, config: LintConfig
+    ) -> Iterator[Diagnostic]:
+        roots = _worker_roots(project)
+        if not roots:
+            return
+        root_keys = {info.key for info, _ in roots}
+        reached = _reachable(project, roots)
+        emitted: Set[Tuple[str, int, str]] = set()
+        for key in sorted(reached):
+            info, path = reached[key]
+            module = project.modules[info.relpath]
+            via = " -> ".join(path)
+            for diag in self._check_function(
+                module, info, via, is_root=key in root_keys
+            ):
+                marker = (diag.path, diag.line, diag.message)
+                if marker not in emitted:
+                    emitted.add(marker)
+                    yield diag
+
+    def _check_function(
+        self,
+        module: ModuleInfo,
+        info: FunctionInfo,
+        via: str,
+        is_root: bool,
+    ) -> Iterator[Diagnostic]:
+        func = info.node
+        module_names = module.assigned_names
+        local_names: Set[str] = set()
+        args = func.args  # type: ignore[attr-defined]
+        for arg in args.args + args.posonlyargs + args.kwonlyargs:
+            local_names.add(arg.arg)
+        if args.vararg:
+            local_names.add(args.vararg.arg)
+        if args.kwarg:
+            local_names.add(args.kwarg.arg)
+        stored_names = {
+            node.id
+            for node in ast.walk(func)  # type: ignore[arg-type]
+            if isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Store)
+        }
+        local_names |= stored_names
+        # A rebound parameter (``x = list(x)``) no longer aliases the
+        # shared default, so only never-rebound defaults are tracked.
+        defaults = {
+            name: node for name, node in _mutable_defaults(func).items()
+            if name not in stored_names
+        }
+
+        for node in ast.walk(func):  # type: ignore[arg-type]
+            if isinstance(node, ast.Global):
+                yield self.diagnostic(
+                    module.path, node,
+                    f"'global {', '.join(node.names)}' in "
+                    f"'{info.qualname}', reachable from a process-pool "
+                    f"worker (call path: {via})",
+                )
+            elif isinstance(node, ast.Nonlocal) and is_root:
+                yield self.diagnostic(
+                    module.path, node,
+                    f"'nonlocal {', '.join(node.names)}' in pool-"
+                    f"submitted function '{info.qualname}': the closure "
+                    f"cell does not cross the process boundary",
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    if not isinstance(
+                        target, (ast.Attribute, ast.Subscript)
+                    ):
+                        continue
+                    base = _base_name(target)
+                    if base in module_names and base not in local_names:
+                        yield self.diagnostic(
+                            module.path, node,
+                            f"store into module-level '{base}' in "
+                            f"'{info.qualname}', reachable from a "
+                            f"process-pool worker (call path: {via})",
+                        )
+                    elif base in defaults:
+                        yield self.diagnostic(
+                            module.path, node,
+                            f"store into mutable default argument "
+                            f"'{base}' in '{info.qualname}', reachable "
+                            f"from a process-pool worker "
+                            f"(call path: {via})",
+                        )
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _MUTATORS:
+                base = _base_name(node.func)
+                if base in module_names and base not in local_names:
+                    yield self.diagnostic(
+                        module.path, node,
+                        f"in-place '{node.func.attr}' on module-level "
+                        f"'{base}' in '{info.qualname}', reachable from "
+                        f"a process-pool worker (call path: {via})",
+                    )
+                elif base in defaults:
+                    yield self.diagnostic(
+                        module.path, node,
+                        f"in-place '{node.func.attr}' on mutable "
+                        f"default argument '{base}' in "
+                        f"'{info.qualname}', reachable from a process-"
+                        f"pool worker (call path: {via})",
+                    )

@@ -1,0 +1,93 @@
+"""SARIF 2.1.0 output for CI annotation of reprolint findings.
+
+One run, one tool (``reprolint``), one rule entry per shipped rule,
+one result per diagnostic.  GitHub's code-scanning upload consumes
+this directly; the format also round-trips through the generic SARIF
+viewers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.reprolint.diagnostics import Diagnostic
+from repro.analysis.reprolint.engine import ENGINE_VERSION, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def _rule_entry(rule: Rule) -> Dict[str, object]:
+    doc = (rule.__doc__ or "").strip().splitlines()
+    short = doc[0] if doc else rule.name
+    return {
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": short},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _result(diag: Diagnostic, base: Optional[str]) -> Dict[str, object]:
+    uri = diag.path
+    if base:
+        try:
+            uri = os.path.relpath(diag.path, base)
+        except ValueError:  # different drive on windows
+            uri = diag.path
+    uri = uri.replace(os.sep, "/")
+    return {
+        "ruleId": diag.code,
+        "level": "error",
+        "message": {"text": diag.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": uri},
+                "region": {
+                    "startLine": max(diag.line, 1),
+                    "startColumn": max(diag.col, 1),
+                },
+            },
+        }],
+    }
+
+
+def to_sarif(
+    diagnostics: Iterable[Diagnostic],
+    rules: Sequence[Rule],
+    base_dir: Optional[str] = None,
+) -> Dict[str, object]:
+    """Build the SARIF document (as a plain dict, ready to serialize)."""
+    results: List[Dict[str, object]] = [
+        _result(diag, base_dir) for diag in diagnostics
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "reprolint",
+                    "version": ENGINE_VERSION,
+                    "informationUri":
+                        "docs/STATIC_ANALYSIS.md",
+                    "rules": [_rule_entry(rule) for rule in rules],
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def write_sarif(
+    path: str,
+    diagnostics: Iterable[Diagnostic],
+    rules: Sequence[Rule],
+    base_dir: Optional[str] = None,
+) -> None:
+    doc = to_sarif(diagnostics, rules, base_dir=base_dir)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=1)
+        handle.write("\n")

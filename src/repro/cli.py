@@ -373,6 +373,19 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--json", nargs="?", const="-", default=None,
                       metavar="PATH",
                       help="emit findings as JSON (to PATH, or stdout)")
+    lint.add_argument("--sarif", default=None, metavar="PATH",
+                      help="additionally write findings as SARIF 2.1.0 "
+                           "(CI code-scanning annotations)")
+    lint.add_argument("--cache", default=None, metavar="PATH",
+                      help="incremental-cache DB path (default: "
+                           ".reprolint-cache.json next to the detected "
+                           "pyproject)")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="disable the content-hash incremental cache")
+    lint.add_argument("--update-schemas", action="store_true",
+                      help="regenerate the SCHEMA01 lockfile "
+                           "(lint/schemas.lock) from the current tree, "
+                           "then lint")
     return parser
 
 
@@ -1043,11 +1056,20 @@ def _cmd_lint(args) -> int:
         )
         if os.path.isfile(candidate):
             pyproject = candidate
+    cache = args.cache
+    if cache is None and not args.no_cache:
+        cache_root = os.path.dirname(pyproject) if pyproject else os.getcwd()
+        cache = os.path.join(cache_root, ".reprolint-cache.json")
+    if args.no_cache:
+        cache = None
     return reprolint.main(
         paths,
         pyproject=pyproject,
         json_out=args.json,
         list_rules=args.list_rules,
+        sarif_out=args.sarif,
+        cache=cache,
+        update_schemas=args.update_schemas,
     )
 
 

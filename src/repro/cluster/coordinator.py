@@ -440,7 +440,7 @@ class ClusterCoordinator:
                 else 1.0
             )
             n_loggable = sum(1 for op in sub if is_loggable(op))
-            shard.replica.ship(
+            shard.replica.ship(  # reprolint: disable=CYC02 -- ready cycle is tracked in the replica inbox; the return is informational
                 batch_index,
                 encode_batch_frames(batch_index, sub),
                 n_loggable,

@@ -21,7 +21,7 @@ Design constraints:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Union
+from typing import Dict, Mapping, Union
 
 from repro.errors import ConfigError
 
@@ -112,7 +112,7 @@ class MetricsRegistry:
             hist = self._histograms[name] = Histogram()
         hist.observe(value)
 
-    def _check_kind(self, name: str, own: Dict) -> None:
+    def _check_kind(self, name: str, own: Mapping[str, object]) -> None:
         for store in (self._counters, self._gauges, self._histograms):
             if store is not own and name in store:
                 raise ConfigError(
@@ -148,13 +148,20 @@ class MetricsRegistry:
 
     def as_dict(self) -> Dict[str, Dict[str, object]]:
         """Nested, name-sorted snapshot (stable for JSON/golden use)."""
+        counters: Dict[str, object] = {
+            k: self._counters[k] for k in sorted(self._counters)
+        }
+        gauges: Dict[str, object] = {
+            k: self._gauges[k] for k in sorted(self._gauges)
+        }
+        histograms: Dict[str, object] = {
+            k: self._histograms[k].as_dict()
+            for k in sorted(self._histograms)
+        }
         return {
-            "counters": {k: self._counters[k] for k in sorted(self._counters)},
-            "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
-            "histograms": {
-                k: self._histograms[k].as_dict()
-                for k in sorted(self._histograms)
-            },
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
         }
 
     def render(self) -> str:

@@ -272,6 +272,7 @@ class BatchTracer:
                 "args": dict(span.args, cycles=span.duration_cycles),
             })
         metadata: Dict[str, Any] = {
+            "schema": "trace-export/v1",
             "clock_hz": self._clock_hz,
             "n_batches": len(self.samples),
             "overlap": self._overlap,

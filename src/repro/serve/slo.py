@@ -23,6 +23,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+import numpy.typing as npt
+
+#: Array aliases for the two sample streams the tracker holds.
+FloatArray = npt.NDArray[np.float64]
+IntArray = npt.NDArray[np.int64]
 
 #: Percentiles the report carries, as (label, quantile).
 PERCENTILES: Tuple[Tuple[str, float], ...] = (
@@ -32,7 +37,7 @@ PERCENTILES: Tuple[Tuple[str, float], ...] = (
 )
 
 
-def latency_percentiles_us(latencies_us: np.ndarray) -> Dict[str, float]:
+def latency_percentiles_us(latencies_us: FloatArray) -> Dict[str, float]:
     """p50/p99/p999 of a latency sample, NaN-free even when empty."""
     out: Dict[str, float] = {}
     for label, q in PERCENTILES:
@@ -58,22 +63,22 @@ class SloTracker:
     def n_completed(self) -> int:
         return len(self._latencies_us)
 
-    def latencies_us(self) -> np.ndarray:
+    def latencies_us(self) -> FloatArray:
         return np.asarray(self._latencies_us, dtype=np.float64)
 
     def percentiles(self) -> Dict[str, float]:
         return latency_percentiles_us(self.latencies_us())
 
-    def completion_order(self) -> Tuple[np.ndarray, np.ndarray]:
+    def completion_order(self) -> Tuple[IntArray, FloatArray]:
         """(completion_cycles, latencies_us), sorted by completion."""
-        cycles = np.asarray(self._completion_cycles, dtype=np.int64)
-        lats = np.asarray(self._latencies_us, dtype=np.float64)
+        cycles: IntArray = np.asarray(self._completion_cycles, dtype=np.int64)
+        lats: FloatArray = np.asarray(self._latencies_us, dtype=np.float64)
         order = np.argsort(cycles, kind="stable")
         return cycles[order], lats[order]
 
     def windowed_p99(
         self, window_ops: int
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    ) -> Tuple[IntArray, IntArray, FloatArray]:
         """Sliding p99 over windows of ``window_ops`` completions.
 
         Returns ``(window_start_cycles, window_end_cycles, p99_us)``
@@ -84,13 +89,16 @@ class SloTracker:
         cycles, lats = self.completion_order()
         n = cycles.size
         if n < window_ops or window_ops <= 0:
-            empty_i = np.zeros(0, dtype=np.int64)
-            return empty_i, empty_i.copy(), np.zeros(0)
+            empty_i: IntArray = np.zeros(0, dtype=np.int64)
+            empty_f: FloatArray = np.zeros(0, dtype=np.float64)
+            return empty_i, empty_i.copy(), empty_f
         n_windows = n - window_ops + 1
         starts = cycles[:n_windows]
         ends = cycles[window_ops - 1 :]
         windows = np.lib.stride_tricks.sliding_window_view(lats, window_ops)
-        p99 = np.percentile(windows, 99.0, axis=1)
+        p99: FloatArray = np.asarray(
+            np.percentile(windows, 99.0, axis=1), dtype=np.float64
+        )
         return starts, ends, p99
 
 

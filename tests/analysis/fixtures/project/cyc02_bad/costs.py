@@ -1,0 +1,5 @@
+"""Fixture cost model: every function here is a CYC02 taint source."""
+
+
+def lookup_cycles(n):
+    return 3 * n + 17

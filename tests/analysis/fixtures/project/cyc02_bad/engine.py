@@ -1,0 +1,17 @@
+"""Bad: cost quantities computed and then silently dropped."""
+
+from costs import lookup_cycles
+
+
+def derived(n):
+    # Tainted transitively: returns a cost-model value (fixpoint).
+    return lookup_cycles(n)
+
+
+def run(n):
+    lookup_cycles(n)  # discarded call result -> CYC02
+    wasted = derived(n)  # dead cost store -> CYC02
+    ok = derived(n)
+    if ok > 10:
+        return 1
+    return 0

@@ -1,0 +1,17 @@
+"""Good: every cost term reaches a billing sink (returned or summed)."""
+
+from costs import lookup_cycles
+
+
+def derived(n):
+    return lookup_cycles(n)
+
+
+def run(n):
+    total = 0
+    total += lookup_cycles(n)
+    total += derived(n)
+    billed = derived(n)
+    if billed > total:
+        total = billed
+    return total

@@ -1,0 +1,24 @@
+"""Bad: a pool worker transitively mutates module-level state."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_RESULTS = []
+
+
+def record(x):
+    # Not a worker itself, but reachable from one via the call graph.
+    _RESULTS.append(x)
+
+
+def worker(x):
+    record(x)
+    return x
+
+
+def sweep(xs):
+    out = []
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(worker, x) for x in xs]
+        for future in futures:
+            out.append(future.result())
+    return out

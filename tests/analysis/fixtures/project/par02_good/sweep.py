@@ -1,0 +1,20 @@
+"""Good: the pool worker is pure; results flow back through futures."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def record(x):
+    return [x]
+
+
+def worker(x):
+    return record(x * 2)
+
+
+def sweep(xs):
+    out = []
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(worker, x) for x in xs]
+        for future in futures:
+            out.extend(future.result())
+    return out

@@ -1,0 +1,22 @@
+"""Fixture report builder: one versioned dict plus an anchored row."""
+
+SCHEMA = "test-report/v1"
+
+
+class Row:
+    def __init__(self, a, b):
+        self.a = a
+        self.b = b
+
+    def to_dict(self):
+        return {"a": self.a, "b": self.b}
+
+
+def build_report(rows):
+    report = {
+        "schema": SCHEMA,
+        "rows": [row.to_dict() for row in rows],
+        "n_rows": len(rows),
+    }
+    report["total"] = sum(row.a for row in rows)
+    return report

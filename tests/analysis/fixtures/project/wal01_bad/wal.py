@@ -1,0 +1,19 @@
+"""Bad: the committed-state ledger advances before the WAL event."""
+
+
+class WriteAheadLog:
+    def __init__(self):
+        self.committed_ops = 0
+        self.frames = []
+
+    def append(self, frame):
+        self.frames.append(frame)
+
+    def commit(self, frame):
+        self.committed_ops += 1  # mutated before append() -> WAL01
+        self.append(frame)
+
+    def commit_branchy(self, frame, urgent):
+        if urgent:
+            self.append(frame)
+        self.committed_ops += 1  # only dominated on the urgent path -> WAL01

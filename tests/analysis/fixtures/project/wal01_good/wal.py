@@ -1,0 +1,19 @@
+"""Good: every ledger mutation is dominated by its WAL event."""
+
+
+class WriteAheadLog:
+    def __init__(self):
+        self.committed_ops = 0
+        self.frames = []
+
+    def append(self, frame):
+        self.frames.append(frame)
+
+    def commit(self, frame):
+        self.append(frame)
+        self.committed_ops += 1
+
+    def commit_branchy(self, frame, urgent):
+        self.append(frame)
+        if urgent:
+            self.committed_ops += 1
