@@ -10,7 +10,7 @@ def test_fig11_energy_savings(benchmark, publish):
         sav_art, sav_smart, sav_cuart, sav_dcartc = row[-4:]
         # Paper bands: ART 315.1-493.5x, SMART 92.7-148.9x,
         # CuART 71.1-126.2x, DCART-C 48.1-97.6x.  Generous floors here;
-        # the exact measured bands are recorded in EXPERIMENTS.md.
+        # the exact measured bands are recorded in docs/PAPER_COMPARISON.md.
         assert sav_art > 100
         assert sav_smart > 25
         assert sav_cuart > 15

@@ -3,7 +3,7 @@
 ``markdown_report(matrix)`` renders what a paper's evaluation section
 would: one table per workload with every engine's headline metrics, and
 a closing band summary in the paper's "A×–B×" phrasing — ready to paste
-into EXPERIMENTS.md or a PR description.
+into docs/PAPER_COMPARISON.md or a PR description.
 """
 
 from __future__ import annotations

@@ -32,6 +32,12 @@ Commands:
 * ``bench`` — measure simulator speed (sim-ops/s, wall seconds, peak
   RSS per engine); ``--record`` appends to ``BENCH_speed.json``,
   ``--check`` fails on a >20 % regression vs the best prior entry.
+* ``campaign`` — declarative experiment campaigns (docs/EXPERIMENTS.md):
+  ``run`` executes a TOML/JSON spec's grid into the SQLite result store,
+  skipping every already-completed cell (kill it, re-run it, it
+  resumes); ``status`` shows grid completion; ``report`` regenerates
+  the campaign's Markdown/HTML report from the store.  ``--no-stamp``
+  makes all output byte-deterministic.
 * ``lint`` — run reprolint, the AST-based determinism & invariant
   analyzer (rules DET01–03, COST01, PAR01, DUR01; see
   docs/STATIC_ANALYSIS.md), over ``src/repro`` or the given paths.
@@ -358,6 +364,38 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=1, metavar="N",
                        help="time each engine N times and keep the fastest "
                             "(best-of-N; use >=3 on noisy/shared machines)")
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="declarative experiment campaigns: run/status/report over a "
+             "SQLite result store",
+    )
+    campaign.add_argument("action", choices=["run", "status", "report"],
+                          help="run the spec's grid (resumable), show "
+                               "completion, or regenerate the report")
+    campaign.add_argument("--spec", required=True, metavar="FILE",
+                          help="campaign spec (.toml on Python >= 3.11, "
+                               "or .json)")
+    campaign.add_argument("--store", default=None, metavar="PATH",
+                          help="SQLite result store (default: campaigns.db "
+                               "in the current directory)")
+    campaign.add_argument("--mode", default="full", metavar="NAME",
+                          help="store namespace label, e.g. full/smoke "
+                               "(default: full)")
+    campaign.add_argument("--jobs", type=int, default=1,
+                          help="worker processes (1 = in-process)")
+    campaign.add_argument("--no-stamp", action="store_true",
+                          help="deterministic output: store under git SHA "
+                               "'unstamped' with no timestamps")
+    campaign.add_argument("--md", default=None, metavar="PATH",
+                          help="report: write the Markdown report to PATH "
+                               "(default: stdout)")
+    campaign.add_argument("--html", default=None, metavar="PATH",
+                          help="report: also write a standalone HTML report")
+    campaign.add_argument("--json", nargs="?", const="-", default=None,
+                          metavar="PATH",
+                          help="emit the run summary / status / report "
+                               "document as JSON")
 
     lint = sub.add_parser(
         "lint", help="reprolint: AST determinism & invariant analyzer"
@@ -1010,6 +1048,7 @@ def _cmd_stats(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    from repro.errors import ConfigError
     from repro.harness import benchmarking
 
     engines = args.engines or list(benchmarking.DEFAULT_BENCH_ENGINES)
@@ -1027,18 +1066,96 @@ def _cmd_bench(args) -> int:
     )
     print(benchmarking.format_entry(entry))
     status = 0
-    if args.check:
-        history = benchmarking.load_trajectory(path)["history"]
-        ok, messages = benchmarking.check_regression(entry, history)
-        for line in messages:
-            print(line)
-        if not ok:
-            print("bench: performance regression detected", file=sys.stderr)
-            status = 1
-    if args.record:
-        benchmarking.append_entry(path, entry)
-        print(f"recorded in {path}")
+    # A corrupt/foreign trajectory file is a configuration problem, not
+    # a crash: one line on stderr and exit 2 (the CLI's bad-input code).
+    try:
+        if args.check:
+            history = benchmarking.load_trajectory(path)["history"]
+            ok, messages = benchmarking.check_regression(entry, history)
+            for line in messages:
+                print(line)
+            if not ok:
+                print(
+                    "bench: performance regression detected", file=sys.stderr
+                )
+                status = 1
+        if args.record:
+            benchmarking.append_entry(path, entry)
+            print(f"recorded in {path}")
+    except ConfigError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
     return status
+
+
+def _cmd_campaign(args) -> int:
+    from repro.errors import ConfigError
+    from repro.experiments import campaign as campaign_mod
+    from repro.experiments import report as report_mod
+    from repro.experiments.spec import load_spec
+    from repro.experiments.store import ResultStore, default_store_path
+    from repro.harness import benchmarking
+
+    # Spec problems (missing file, bad TOML, unknown engine) and store
+    # problems (version skew, corrupt payload) are configuration errors:
+    # one line on stderr, exit 2.
+    try:
+        spec = load_spec(args.spec)
+    except ConfigError as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
+    if args.no_stamp:
+        sha, created = "unstamped", ""
+    else:
+        sha, created = benchmarking.git_sha(), benchmarking.utc_stamp()
+    try:
+        with ResultStore(args.store or default_store_path()) as store:
+            if args.action == "run":
+                summary = campaign_mod.run_campaign(
+                    spec, store, git_sha=sha, mode=args.mode,
+                    jobs=args.jobs, created_at=created,
+                )
+                print(
+                    f"campaign {spec.name} [{summary['spec_hash']}] "
+                    f"mode={args.mode}: {summary['total']} cells - "
+                    f"{summary['reused']} reused, {summary['ran']} ran, "
+                    f"{summary['failed']} failed"
+                )
+                if args.json:
+                    _emit_json(summary, args.json)
+                return 1 if summary["failed"] else 0
+            if args.action == "status":
+                status = campaign_mod.campaign_status(
+                    spec, store, git_sha=sha, mode=args.mode
+                )
+                print(
+                    f"campaign {spec.name} [{status['spec_hash']}] "
+                    f"mode={args.mode}: {status['ok']}/{status['total']} ok, "
+                    f"{status['error']} failed, {status['pending']} pending"
+                )
+                if args.json:
+                    _emit_json(status, args.json)
+                return 0 if status["complete"] else 1
+            doc = report_mod.build_report(
+                spec, store, git_sha=sha, mode=args.mode, created_at=created
+            )
+            markdown = report_mod.render_markdown(doc)
+            if args.md:
+                with open(args.md, "w") as handle:
+                    handle.write(markdown)
+                print(f"wrote Markdown report to {args.md}")
+            else:
+                print(markdown, end="")
+            if args.html:
+                with open(args.html, "w") as handle:
+                    handle.write(report_mod.render_html(doc))
+                print(f"wrote HTML report to {args.html}")
+            if args.json:
+                _emit_json(doc, args.json)
+            return 0 if doc["complete"] else 1
+    except ConfigError as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_lint(args) -> int:
@@ -1107,6 +1224,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_stats(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     if args.command == "lint":
         return _cmd_lint(args)
     return 2  # pragma: no cover - argparse enforces the choices

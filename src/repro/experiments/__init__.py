@@ -1,0 +1,53 @@
+"""Experiment platform: declarative campaigns, result store, reports.
+
+The FuzzBench-style layer ROADMAP item 3 calls for, in four pieces:
+
+* :mod:`repro.experiments.spec` — a validated, declarative campaign
+  description (engines × workloads × seeds × fault schedules × platform
+  costs) loadable from TOML/JSON, with a stable content hash;
+* :mod:`repro.experiments.store` — a SQLite result store keyed by
+  ``(spec hash, git SHA, mode)`` with one atomic transaction per cell,
+  so a killed campaign resumes exactly where it stopped and a re-run
+  skips every completed cell;
+* :mod:`repro.experiments.campaign` — the runner: expands the spec into
+  cells, fans them over :func:`repro.harness.parallel.run_cells`
+  (inheriting its crashed-worker retry path), and persists each cell as
+  it completes;
+* :mod:`repro.experiments.report` — regenerates ``EXPERIMENTS.md`` (and
+  an HTML twin) from the store: best-of-N methodology, per-cell seeds,
+  and a Mann–Whitney significance test over repeats
+  (:mod:`repro.experiments.stats`).
+
+Driven by ``repro campaign run|status|report``; deterministic output
+under ``--no-stamp``.
+"""
+
+from repro.experiments.campaign import (
+    CampaignCell,
+    campaign_status,
+    expand_spec,
+    run_campaign,
+    run_campaign_cell,
+)
+from repro.experiments.report import (
+    build_report,
+    render_html,
+    render_markdown,
+)
+from repro.experiments.spec import CampaignSpec, load_spec, spec_from_dict
+from repro.experiments.store import ResultStore
+
+__all__ = [
+    "CampaignCell",
+    "CampaignSpec",
+    "ResultStore",
+    "build_report",
+    "campaign_status",
+    "expand_spec",
+    "load_spec",
+    "render_html",
+    "render_markdown",
+    "run_campaign",
+    "run_campaign_cell",
+    "spec_from_dict",
+]

@@ -1,0 +1,309 @@
+"""Declarative campaign specs: the single source of truth for a grid.
+
+A campaign is the cross product of four dimensions — engines, workloads,
+seeds (each seed is one repeat of every cell), and fault schedules —
+evaluated at one scale (``n_keys``/``n_ops``) under one platform-cost
+model.  The spec is a frozen dataclass, validated eagerly (unknown
+engines, workloads, or fault signatures are :class:`ConfigError`, not
+silent typos producing empty grids), and hashed canonically: the
+16-hex-digit :meth:`CampaignSpec.content_hash` keys the result store, so
+*any* change to the spec — one more seed, a different skew — lands in a
+fresh store namespace instead of silently mixing with stale cells.
+
+Specs load from TOML (Python ≥ 3.11, via :mod:`tomllib`) or JSON; both
+map to the same flat dictionary, optionally nested under a
+``[campaign]`` table so spec files can carry unrelated tooling tables.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field, fields
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.harness.runner import ENGINE_ORDER, EXTENSION_ENGINES
+from repro.model.costs import DEFAULT_POWER, PowerModel
+from repro.workloads import WORKLOAD_NAMES
+
+#: Every engine a campaign may name (the paper's roster + extensions).
+KNOWN_ENGINES: Tuple[str, ...] = tuple(ENGINE_ORDER) + tuple(
+    EXTENSION_ENGINES
+)
+
+#: Engines that accept fault schedules (the chaos harness drives the
+#: accelerator model; the CPU/GPU baselines have no SOUs to kill).
+FAULT_CAPABLE_ENGINES: Tuple[str, ...] = ("DCART", "dcart-vec")
+
+#: The no-fault signature every campaign has by default.
+NO_FAULT = "none"
+
+
+def parse_fault(signature: str) -> Tuple[str, Optional[float]]:
+    """Validate and split a fault signature into ``(kind, argument)``.
+
+    Supported signatures:
+
+    * ``"none"`` — the healthy run;
+    * ``"sou-failstop:N"`` — fail-stop N SOUs at batch 0 (N ≥ 1);
+    * ``"hbm-throttle:F"`` — HBM bandwidth × F over the second half of
+      the run (0 < F < 1).
+    """
+    if signature == NO_FAULT:
+        return (NO_FAULT, None)
+    kind, sep, arg = signature.partition(":")
+    if not sep:
+        raise ConfigError(
+            f"bad fault signature {signature!r}: expected 'none', "
+            f"'sou-failstop:N', or 'hbm-throttle:F'"
+        )
+    if kind == "sou-failstop":
+        try:
+            n = int(arg)
+        except ValueError:
+            raise ConfigError(
+                f"bad fault signature {signature!r}: N must be an integer"
+            ) from None
+        if n < 1:
+            raise ConfigError(
+                f"bad fault signature {signature!r}: N must be >= 1"
+            )
+        return (kind, float(n))
+    if kind == "hbm-throttle":
+        try:
+            factor = float(arg)
+        except ValueError:
+            raise ConfigError(
+                f"bad fault signature {signature!r}: F must be a number"
+            ) from None
+        if not 0.0 < factor < 1.0:
+            raise ConfigError(
+                f"bad fault signature {signature!r}: F must be in (0, 1)"
+            )
+        return (kind, factor)
+    raise ConfigError(f"unknown fault kind {kind!r} in {signature!r}")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One declarative campaign: the full recipe for a result grid."""
+
+    name: str
+    engines: Tuple[str, ...]
+    workloads: Tuple[str, ...]
+    seeds: Tuple[int, ...]
+    n_keys: int = 10_000
+    n_ops: int = 100_000
+    write_ratio: Optional[float] = None
+    op_skew: Optional[float] = None
+    faults: Tuple[str, ...] = (NO_FAULT,)
+    #: Platform power draws (watts) the energy columns are priced at;
+    #: ``None`` keys inherit :data:`repro.model.costs.DEFAULT_POWER`.
+    power: Optional[Tuple[float, float, float]] = None  # (cpu, gpu, fpga)
+    #: Engine every other engine is significance-tested against
+    #: (default: the first engine listed).
+    baseline_engine: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("-", "").replace(
+            "_", ""
+        ).isalnum():
+            raise ConfigError(
+                f"campaign name must be a non-empty [-_a-zA-Z0-9] slug: "
+                f"{self.name!r}"
+            )
+        if not self.engines:
+            raise ConfigError("campaign needs at least one engine")
+        for engine in self.engines:
+            if engine not in KNOWN_ENGINES:
+                raise ConfigError(
+                    f"unknown engine {engine!r} (known: "
+                    f"{', '.join(KNOWN_ENGINES)})"
+                )
+        if len(set(self.engines)) != len(self.engines):
+            raise ConfigError("duplicate engines in campaign")
+        if not self.workloads:
+            raise ConfigError("campaign needs at least one workload")
+        for workload in self.workloads:
+            if workload not in WORKLOAD_NAMES:
+                raise ConfigError(
+                    f"unknown workload {workload!r} (known: "
+                    f"{', '.join(WORKLOAD_NAMES)})"
+                )
+        if len(set(self.workloads)) != len(self.workloads):
+            raise ConfigError("duplicate workloads in campaign")
+        if not self.seeds:
+            raise ConfigError("campaign needs at least one seed (repeat)")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ConfigError("duplicate seeds in campaign")
+        for seed in self.seeds:
+            if not isinstance(seed, int) or isinstance(seed, bool):
+                raise ConfigError(f"seeds must be integers: {seed!r}")
+        if self.n_keys <= 0 or self.n_ops <= 0:
+            raise ConfigError(
+                f"n_keys/n_ops must be positive: {self.n_keys}/{self.n_ops}"
+            )
+        if self.write_ratio is not None and not 0.0 <= self.write_ratio <= 1.0:
+            raise ConfigError(
+                f"write_ratio must be in [0, 1]: {self.write_ratio}"
+            )
+        if self.op_skew is not None and self.op_skew <= 0.0:
+            raise ConfigError(f"op_skew must be positive: {self.op_skew}")
+        if not self.faults:
+            raise ConfigError(
+                "faults must not be empty (use ('none',) for healthy runs)"
+            )
+        if len(set(self.faults)) != len(self.faults):
+            raise ConfigError("duplicate fault signatures in campaign")
+        for signature in self.faults:
+            parse_fault(signature)
+            if signature != NO_FAULT:
+                incapable = [
+                    e for e in self.engines
+                    if e not in FAULT_CAPABLE_ENGINES
+                ]
+                if incapable:
+                    raise ConfigError(
+                        f"fault {signature!r} needs fault-capable engines; "
+                        f"{', '.join(incapable)} cannot run a fault "
+                        f"schedule (only "
+                        f"{', '.join(FAULT_CAPABLE_ENGINES)} can)"
+                    )
+        if self.power is not None:
+            cpu, gpu, fpga = self.power
+            # PowerModel validates positivity; constructing it here makes
+            # a bad override fail at spec load, not mid-campaign.
+            PowerModel(cpu_watts=cpu, gpu_watts=gpu, fpga_watts=fpga)
+        baseline = self.baseline_engine or self.engines[0]
+        if baseline not in self.engines:
+            raise ConfigError(
+                f"baseline_engine {baseline!r} is not in the campaign's "
+                f"engine list"
+            )
+        object.__setattr__(self, "baseline_engine", baseline)
+
+    def power_model(self) -> PowerModel:
+        """The platform-cost dimension as a :class:`PowerModel`."""
+        if self.power is None:
+            return DEFAULT_POWER
+        cpu, gpu, fpga = self.power
+        return PowerModel(cpu_watts=cpu, gpu_watts=gpu, fpga_watts=fpga)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The canonical plain-data form (hashing + storage)."""
+        return {
+            "name": self.name,
+            "engines": list(self.engines),
+            "workloads": list(self.workloads),
+            "seeds": list(self.seeds),
+            "n_keys": self.n_keys,
+            "n_ops": self.n_ops,
+            "write_ratio": self.write_ratio,
+            "op_skew": self.op_skew,
+            "faults": list(self.faults),
+            "power": list(self.power) if self.power is not None else None,
+            "baseline_engine": self.baseline_engine,
+        }
+
+    def content_hash(self) -> str:
+        """A stable 16-hex-digit digest of the spec's content.
+
+        Canonical JSON (sorted keys, fixed separators) in, SHA-256 out:
+        the same spec always hashes identically across processes and
+        Python versions, and any semantic change changes the hash.
+        """
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def spec_from_dict(doc: Mapping[str, object]) -> CampaignSpec:
+    """Build a validated spec from a plain mapping (TOML/JSON payload)."""
+    if not isinstance(doc, Mapping):
+        raise ConfigError(
+            f"campaign spec must be a table/object, got "
+            f"{type(doc).__name__}"
+        )
+    known = {f.name for f in fields(CampaignSpec)}
+    unknown = sorted(set(doc) - known)
+    if unknown:
+        raise ConfigError(
+            f"unknown campaign spec key(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+    for required in ("name", "engines", "workloads", "seeds"):
+        if required not in doc:
+            raise ConfigError(f"campaign spec is missing {required!r}")
+    kwargs: Dict[str, object] = dict(doc)
+    for key in ("engines", "workloads", "seeds", "faults"):
+        if key in kwargs:
+            value = kwargs[key]
+            if isinstance(value, str) or not hasattr(value, "__iter__"):
+                raise ConfigError(f"{key} must be a list")
+            kwargs[key] = tuple(value)  # type: ignore[arg-type]
+    if kwargs.get("power") is not None:
+        power = kwargs["power"]
+        if isinstance(power, Mapping):
+            extra = sorted(
+                set(power) - {"cpu_watts", "gpu_watts", "fpga_watts"}
+            )
+            if extra:
+                raise ConfigError(
+                    f"unknown power key(s): {', '.join(extra)}"
+                )
+            kwargs["power"] = (
+                float(power.get("cpu_watts", DEFAULT_POWER.cpu_watts)),
+                float(power.get("gpu_watts", DEFAULT_POWER.gpu_watts)),
+                float(power.get("fpga_watts", DEFAULT_POWER.fpga_watts)),
+            )
+        else:
+            raise ConfigError(
+                "power must be a table of cpu_watts/gpu_watts/fpga_watts"
+            )
+    try:
+        return CampaignSpec(**kwargs)  # type: ignore[arg-type]
+    except TypeError as exc:
+        raise ConfigError(f"bad campaign spec: {exc}") from exc
+
+
+def load_spec(path: str) -> CampaignSpec:
+    """Load and validate a campaign spec from a ``.toml``/``.json`` file.
+
+    The campaign table may sit at the top level or under ``[campaign]``;
+    TOML needs Python ≥ 3.11 (:mod:`tomllib`) — on older interpreters
+    write the spec as JSON, which is always supported.
+    """
+    if not os.path.exists(path):
+        raise ConfigError(f"campaign spec not found: {path}")
+    ext = os.path.splitext(path)[1].lower()
+    if ext == ".toml":
+        try:
+            import tomllib
+        except ImportError:
+            raise ConfigError(
+                f"{path}: TOML specs need Python >= 3.11 (tomllib); "
+                f"use a .json spec on this interpreter"
+            ) from None
+        with open(path, "rb") as handle:
+            try:
+                doc = tomllib.load(handle)
+            except tomllib.TOMLDecodeError as exc:
+                raise ConfigError(f"{path} is not valid TOML: {exc}") from exc
+    elif ext == ".json":
+        with open(path) as handle:
+            try:
+                doc = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise ConfigError(f"{path} is not valid JSON: {exc}") from exc
+    else:
+        raise ConfigError(
+            f"campaign spec must be .toml or .json, got {path!r}"
+        )
+    if isinstance(doc, Mapping) and isinstance(
+        doc.get("campaign"), Mapping
+    ):
+        doc = doc["campaign"]
+    return spec_from_dict(doc)

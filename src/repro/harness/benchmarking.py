@@ -94,7 +94,7 @@ def reset_peak_rss() -> None:
     containers); there the lifetime fallback still applies.
     """
     try:
-        with open("/proc/self/clear_refs", "w") as handle:
+        with open("/proc/self/clear_refs", "w") as handle:  # reprolint: disable=DUR01 -- procfs knob, not durable state; there is no file to tear
             handle.write("5")
     except OSError:  # pragma: no cover - non-linux / restricted
         pass
@@ -152,6 +152,17 @@ def git_sha(repo_dir: Optional[str] = None) -> str:
     if status.returncode == 0 and status.stdout.strip():
         sha += "-dirty"
     return sha
+
+
+def utc_stamp() -> str:
+    """The current UTC time as an ISO-8601 string.
+
+    The one sanctioned wall-clock read for harness stamping (this module
+    is DET02's whitelisted home for host-side time): trajectory entries
+    and campaign-store rows both stamp through here, and deterministic
+    modes (``--no-stamp``) simply never call it.
+    """
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
 
 
 def bench_workload(
@@ -241,7 +252,7 @@ def run_bench(
         ).to_dict()
     return {
         "git_sha": git_sha(),
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "timestamp": utc_stamp(),
         "mode": "quick" if quick else "full",
         "workload": dict(spec),
         "engines": samples,
@@ -249,24 +260,46 @@ def run_bench(
 
 
 def load_trajectory(path: str) -> Dict[str, object]:
-    """Read ``BENCH_speed.json`` (empty trajectory if absent)."""
+    """Read ``BENCH_speed.json`` (empty trajectory if absent).
+
+    A torn or otherwise undecodable file surfaces as
+    :class:`~repro.errors.ConfigError`, not a raw ``JSONDecodeError``
+    traceback — the CLI turns it into a one-line message and exit 2, and
+    the fix path (delete or restore the file) is the same either way.
+    """
     if not os.path.exists(path):
         return {"schema": 1, "history": []}
     with open(path) as handle:
-        doc = json.load(handle)
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(
+                f"{path} is corrupt (not valid JSON: {exc}); delete it or "
+                f"restore it from version control"
+            ) from exc
     if not isinstance(doc, dict) or "history" not in doc:
         raise ConfigError(f"{path} is not a bench trajectory file")
+    if not isinstance(doc["history"], list):
+        raise ConfigError(f"{path} history is not a list")
     return doc
 
 
 def append_entry(path: str, entry: Dict[str, object]) -> None:
-    """Append one entry to the trajectory file (atomic rewrite)."""
+    """Append one entry to the trajectory file (atomic rewrite).
+
+    Follows the fsync-before-rename protocol (reprolint DUR01): the
+    temp file is flushed and fsynced before ``os.replace`` publishes it,
+    so a crash leaves either the old complete trajectory or the new one
+    — never a torn file at the final name.
+    """
     doc = load_trajectory(path)
     doc["history"].append(entry)
     tmp = path + ".tmp"
     with open(tmp, "w") as handle:
         json.dump(doc, handle, indent=1)
         handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp, path)
 
 
@@ -281,21 +314,43 @@ def check_regression(
     history entries of the same mode that measured that engine; flag a
     regression when the new number is more than ``threshold`` below it.
     Returns ``(ok, messages)`` where messages describe each comparison.
+
+    History entries from an older schema — or failed samples that never
+    recorded a rate — are skipped with a message rather than crashing
+    the gate mid-check: a decade-old trajectory must never be able to
+    take down today's CI run.
     """
     mode = entry["mode"]
     messages: List[str] = []
     ok = True
     for engine, sample in entry["engines"].items():
         best = None
+        skipped = 0
         for prior in history:
-            if prior.get("mode") != mode:
+            if not isinstance(prior, dict) or prior.get("mode") != mode:
                 continue
-            prior_sample = prior.get("engines", {}).get(engine)
+            engines = prior.get("engines")
+            if not isinstance(engines, dict):
+                continue
+            prior_sample = engines.get(engine)
             if prior_sample is None:
                 continue
-            rate = prior_sample["sim_ops_per_sec"]
+            rate = (
+                prior_sample.get("sim_ops_per_sec")
+                if isinstance(prior_sample, dict)
+                else None
+            )
+            if not isinstance(rate, (int, float)):
+                skipped += 1
+                continue
             if best is None or rate > best:
                 best = rate
+        if skipped:
+            messages.append(
+                f"{engine}: skipped {skipped} history "
+                f"entr{'y' if skipped == 1 else 'ies'} without "
+                f"sim_ops_per_sec (older schema or failed sample)"
+            )
         new_rate = sample["sim_ops_per_sec"]
         if best is None:
             messages.append(

@@ -192,6 +192,9 @@ def run_cells(
     cells: Sequence[SweepCell],
     jobs: int = 1,
     worker: Callable[[SweepCell], Dict[str, object]] = run_cell,
+    on_result: Optional[
+        Callable[[SweepCell, Dict[str, object]], None]
+    ] = None,
 ) -> List[Dict[str, object]]:
     """Run every cell, ``jobs`` at a time, collecting in cell order.
 
@@ -203,6 +206,14 @@ def run_cells(
     holds :func:`error_doc` output instead of a result, and every other
     cell still completes.  ``worker`` is injectable for tests and must
     be a module-level callable when ``jobs > 1`` (pickling).
+
+    ``on_result`` fires once per cell, in collection (= submission)
+    order, as soon as that cell's document is final — including the
+    retry and error-document paths.  The experiment platform uses it to
+    persist each finished cell before the grid completes, so a killed
+    campaign resumes from the last persisted cell instead of from zero.
+    An ``on_result`` that raises aborts the run (persistence failing is
+    not a per-cell condition).
     """
     if jobs <= 0:
         raise ConfigError(f"jobs must be positive: {jobs}")
@@ -211,22 +222,28 @@ def run_cells(
         out = []
         for cell in cells:
             try:
-                out.append(worker(cell))
+                doc = worker(cell)
             except BaseException as exc:  # noqa: BLE001 - retried below
                 if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                     raise
-                out.append(_retry_cell(worker, cell, exc, in_process=True))
+                doc = _retry_cell(worker, cell, exc, in_process=True)
+            if on_result is not None:
+                on_result(cell, doc)
+            out.append(doc)
         return out
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = [pool.submit(worker, cell) for cell in cells]
         results: List[Dict[str, object]] = []
         for cell, future in zip(cells, futures):
             try:
-                results.append(future.result())
+                doc = future.result()
             except BaseException as exc:  # noqa: BLE001 - retried below
                 if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                     raise
-                results.append(_retry_cell(worker, cell, exc, in_process=False))
+                doc = _retry_cell(worker, cell, exc, in_process=False)
+            if on_result is not None:
+                on_result(cell, doc)
+            results.append(doc)
     return results
 
 

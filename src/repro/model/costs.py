@@ -339,6 +339,22 @@ class PowerModel:
             fpga_watts=self.fpga_watts,
         )
 
+    def watts_for(self, kind: str) -> float:
+        """The draw for a platform ``kind`` (``cpu``/``gpu``/``fpga``).
+
+        The experiment platform's platform-cost dimension re-prices a
+        stored run's energy under alternative power draws; since
+        energy = power × time, rescaling by the watts ratio is exact.
+        """
+        try:
+            return {
+                "cpu": self.cpu_watts,
+                "gpu": self.gpu_watts,
+                "fpga": self.fpga_watts,
+            }[kind]
+        except KeyError:
+            raise ConfigError(f"unknown platform kind: {kind!r}") from None
+
 
 #: Per-engine contention penalty for the CPU baselines (ns per queued
 #: waiter).  One table, here, so every billed latency in the tree traces

@@ -33,7 +33,7 @@ WORKLOAD_NAMES = ("IPGEO", "DICT", "EA", "DE", "RS", "RD")
 # streams are strongly skewed (Fig. 3); the synthetic integer workloads
 # are given the moderate skew of a YCSB-style generator.
 # Calibrated so the measured ratio bands straddle the paper's reported
-# bands (see EXPERIMENTS.md); all within the plausible range of skewed
+# bands (see docs/PAPER_COMPARISON.md); all within the plausible range of skewed
 # key-value request streams (YCSB's default is 0.99, hot production
 # streams reach 1.2+).
 DEFAULT_OP_SKEW = {

@@ -1,0 +1,225 @@
+"""Campaign spec: validation, content hashing, TOML/JSON loading."""
+
+import json
+import sys
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.spec import (
+    CampaignSpec,
+    load_spec,
+    parse_fault,
+    spec_from_dict,
+)
+
+
+def _spec(**overrides):
+    base = dict(
+        name="unit",
+        engines=("ART", "DCART"),
+        workloads=("IPGEO",),
+        seeds=(1, 2),
+        n_keys=500,
+        n_ops=2_000,
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+class TestValidation:
+    def test_minimal_spec_validates(self):
+        spec = _spec()
+        assert spec.baseline_engine == "ART"  # defaults to first engine
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError, match="unknown engine"):
+            _spec(engines=("ART", "BTREE"))
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigError, match="unknown workload"):
+            _spec(workloads=("NOPE",))
+
+    def test_duplicate_seeds_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate seeds"):
+            _spec(seeds=(1, 1))
+
+    def test_empty_engines_rejected(self):
+        with pytest.raises(ConfigError, match="at least one engine"):
+            _spec(engines=())
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ConfigError, match="slug"):
+            _spec(name="has spaces")
+
+    def test_write_ratio_bounds(self):
+        with pytest.raises(ConfigError, match="write_ratio"):
+            _spec(write_ratio=1.5)
+
+    def test_baseline_must_be_in_roster(self):
+        with pytest.raises(ConfigError, match="baseline_engine"):
+            _spec(baseline_engine="DCART-C")
+
+    def test_faults_need_fault_capable_engines(self):
+        # ART has no SOUs to kill: a fault dimension over it is a spec
+        # authoring error, caught at load, not a mid-campaign surprise.
+        with pytest.raises(ConfigError, match="fault-capable"):
+            _spec(faults=("none", "sou-failstop:2"))
+
+    def test_fault_dimension_on_dcart_validates(self):
+        spec = _spec(engines=("DCART",), faults=("none", "sou-failstop:2"))
+        assert spec.faults == ("none", "sou-failstop:2")
+
+    def test_bad_power_rejected_at_spec_load(self):
+        with pytest.raises(ConfigError):
+            _spec(power=(135.0, 165.0, -1.0))
+
+
+class TestParseFault:
+    def test_none(self):
+        assert parse_fault("none") == ("none", None)
+
+    def test_sou_failstop(self):
+        assert parse_fault("sou-failstop:4") == ("sou-failstop", 4.0)
+
+    def test_hbm_throttle(self):
+        assert parse_fault("hbm-throttle:0.25") == ("hbm-throttle", 0.25)
+
+    @pytest.mark.parametrize("bad", [
+        "sou-failstop", "sou-failstop:0", "sou-failstop:x",
+        "hbm-throttle:1.5", "hbm-throttle:0", "quake:9",
+    ])
+    def test_bad_signatures_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            parse_fault(bad)
+
+
+class TestContentHash:
+    def test_hash_is_stable(self):
+        assert _spec().content_hash() == _spec().content_hash()
+        assert len(_spec().content_hash()) == 16
+
+    def test_any_semantic_change_changes_the_hash(self):
+        base = _spec().content_hash()
+        assert _spec(seeds=(1, 2, 3)).content_hash() != base
+        assert _spec(n_ops=2_001).content_hash() != base
+        assert _spec(op_skew=0.9).content_hash() != base
+        assert _spec(power=(135.0, 165.0, 42.0)).content_hash() != base
+
+    def test_round_trips_through_dict(self):
+        spec = _spec(faults=("none",), op_skew=1.1)
+        clone = spec_from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.content_hash() == spec.content_hash()
+
+
+class TestSpecFromDict:
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown campaign spec key"):
+            spec_from_dict({
+                "name": "x", "engines": ["ART"], "workloads": ["IPGEO"],
+                "seeds": [1], "colour": "red",
+            })
+
+    def test_missing_required_key_rejected(self):
+        with pytest.raises(ConfigError, match="missing 'seeds'"):
+            spec_from_dict({
+                "name": "x", "engines": ["ART"], "workloads": ["IPGEO"],
+            })
+
+    def test_string_where_list_expected_rejected(self):
+        with pytest.raises(ConfigError, match="must be a list"):
+            spec_from_dict({
+                "name": "x", "engines": "ART", "workloads": ["IPGEO"],
+                "seeds": [1],
+            })
+
+    def test_power_table_partial_override(self):
+        spec = spec_from_dict({
+            "name": "x", "engines": ["ART"], "workloads": ["IPGEO"],
+            "seeds": [1], "power": {"fpga_watts": 84.0},
+        })
+        assert spec.power == (135.0, 165.0, 84.0)
+
+    def test_power_unknown_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown power key"):
+            spec_from_dict({
+                "name": "x", "engines": ["ART"], "workloads": ["IPGEO"],
+                "seeds": [1], "power": {"tpu_watts": 1.0},
+            })
+
+
+class TestLoadSpec:
+    def test_json_spec_loads(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps({
+            "name": "file", "engines": ["ART"], "workloads": ["DICT"],
+            "seeds": [7],
+        }))
+        spec = load_spec(str(path))
+        assert spec.name == "file"
+        assert spec.seeds == (7,)
+
+    def test_nested_campaign_table(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps({"campaign": {
+            "name": "nested", "engines": ["ART"], "workloads": ["DICT"],
+            "seeds": [1],
+        }}))
+        assert load_spec(str(path)).name == "nested"
+
+    def test_missing_file_is_config_error(self, tmp_path):
+        with pytest.raises(ConfigError, match="not found"):
+            load_spec(str(tmp_path / "absent.json"))
+
+    def test_corrupt_json_is_config_error(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            load_spec(str(path))
+
+    def test_unknown_extension_rejected(self, tmp_path):
+        path = tmp_path / "c.yaml"
+        path.write_text("name: x")
+        with pytest.raises(ConfigError, match="toml or .json"):
+            load_spec(str(path))
+
+    @pytest.mark.skipif(sys.version_info < (3, 11),
+                        reason="tomllib needs Python >= 3.11")
+    def test_toml_spec_loads(self, tmp_path):
+        path = tmp_path / "c.toml"
+        path.write_text(
+            '[campaign]\nname = "toml"\nengines = ["ART"]\n'
+            'workloads = ["EA"]\nseeds = [1, 2]\n'
+        )
+        spec = load_spec(str(path))
+        assert spec.name == "toml"
+        assert spec.workloads == ("EA",)
+
+    @pytest.mark.skipif(sys.version_info < (3, 11),
+                        reason="tomllib needs Python >= 3.11")
+    def test_corrupt_toml_is_config_error(self, tmp_path):
+        path = tmp_path / "c.toml"
+        path.write_text("[campaign\nname=")
+        with pytest.raises(ConfigError, match="not valid TOML"):
+            load_spec(str(path))
+
+    def test_toml_and_json_specs_hash_identically(self, tmp_path):
+        # The two formats are surface syntax for the same spec: the
+        # content hash must not depend on which file fed it.
+        if sys.version_info < (3, 11):
+            pytest.skip("tomllib needs Python >= 3.11")
+        toml = tmp_path / "c.toml"
+        toml.write_text(
+            'name = "both"\nengines = ["ART"]\nworkloads = ["RS"]\n'
+            'seeds = [3]\n'
+        )
+        as_json = tmp_path / "c.json"
+        as_json.write_text(json.dumps({
+            "name": "both", "engines": ["ART"], "workloads": ["RS"],
+            "seeds": [3],
+        }))
+        assert (
+            load_spec(str(toml)).content_hash()
+            == load_spec(str(as_json)).content_hash()
+        )

@@ -1,0 +1,75 @@
+"""Deterministic rank statistics behind the campaign report."""
+
+import pytest
+
+from repro.experiments.stats import mann_whitney_u, median, rankdata
+
+
+class TestRankdata:
+    def test_simple_ranks(self):
+        assert rankdata([30.0, 10.0, 20.0]) == [3.0, 1.0, 2.0]
+
+    def test_ties_get_midranks(self):
+        assert rankdata([1.0, 2.0, 2.0, 3.0]) == [1.0, 2.5, 2.5, 4.0]
+
+    def test_all_tied(self):
+        assert rankdata([5.0, 5.0, 5.0]) == [2.0, 2.0, 2.0]
+
+    def test_empty(self):
+        assert rankdata([]) == []
+
+
+class TestMannWhitney:
+    def test_clear_separation_is_significant(self):
+        a = [10.0, 11.0, 12.0, 13.0, 14.0, 15.0]
+        b = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        result = mann_whitney_u(a, b)
+        assert result["u"] == 36.0  # every (a, b) pair has a > b
+        assert result["p"] < 0.05
+
+    def test_symmetry(self):
+        a = [10.0, 11.0, 12.0, 13.0]
+        b = [1.0, 2.0, 3.0, 20.0]
+        assert mann_whitney_u(a, b)["p"] == pytest.approx(
+            mann_whitney_u(b, a)["p"]
+        )
+
+    def test_identical_samples_not_significant(self):
+        a = [1.0, 2.0, 3.0]
+        result = mann_whitney_u(a, list(a))
+        assert result["p"] > 0.5
+
+    def test_all_tied_degenerates_to_p_one(self):
+        # Zero rank variance: no evidence either way, not a ZeroDivision.
+        result = mann_whitney_u([7.0, 7.0], [7.0, 7.0])
+        assert result["p"] == 1.0
+
+    def test_empty_side_degenerates_to_p_one(self):
+        assert mann_whitney_u([], [1.0])["p"] == 1.0
+
+    def test_tiny_samples_cannot_reach_significance(self):
+        # n=2 per side: even perfect separation must not clear alpha —
+        # the report's guard against overclaiming on CI-sized repeats.
+        result = mann_whitney_u([10.0, 11.0], [1.0, 2.0])
+        assert result["p"] > 0.05
+
+    def test_matches_reference_p_value(self):
+        # Cross-checked against scipy.stats.mannwhitneyu
+        # (method="asymptotic", use_continuity=True): U=21, p~0.0927.
+        a = [68.0, 68.5, 68.1, 68.9]
+        b = [67.0, 67.5, 68.2, 66.9]
+        result = mann_whitney_u(a, b)
+        assert result["u"] == 14.0
+        assert result["p"] == pytest.approx(0.1124, abs=1e-3)
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even_averages_middle_pair(self):
+        assert median([4.0, 1.0, 3.0, 2.0]) == 2.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])

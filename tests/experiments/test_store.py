@@ -1,0 +1,167 @@
+"""Result store: keying, atomic per-cell writes, deterministic dumps."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.spec import CampaignSpec
+from repro.experiments.store import (
+    STORE_VERSION,
+    ResultStore,
+    default_store_path,
+)
+
+
+def _spec(**overrides):
+    base = dict(
+        name="store-test",
+        engines=("ART",),
+        workloads=("IPGEO",),
+        seeds=(1,),
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+def _put(store, h, key="ART/IPGEO/seed=1/none", status="ok", **payload):
+    store.put_cell(
+        h, "unstamped", "full", key, "ART", "IPGEO", 1, "none",
+        status, payload or {"throughput_mops": 1.0},
+    )
+
+
+class TestRegister:
+    def test_register_is_idempotent(self, tmp_path):
+        with ResultStore(str(tmp_path / "c.db")) as store:
+            h1 = store.register_campaign(_spec())
+            h2 = store.register_campaign(_spec())
+            assert h1 == h2
+            assert [row[0] for row in store.campaigns()] == [h1]
+
+    def test_tampered_spec_under_same_hash_rejected(self, tmp_path):
+        path = str(tmp_path / "c.db")
+        with ResultStore(path) as store:
+            h = store.register_campaign(_spec())
+        con = sqlite3.connect(path)
+        with con:
+            con.execute(
+                "UPDATE campaigns SET spec_json='{}' WHERE spec_hash=?",
+                (h,),
+            )
+        con.close()
+        with ResultStore(path) as store:
+            with pytest.raises(ConfigError, match="different content"):
+                store.register_campaign(_spec())
+
+
+class TestCells:
+    def test_round_trip(self, tmp_path):
+        with ResultStore(str(tmp_path / "c.db")) as store:
+            h = store.register_campaign(_spec())
+            _put(store, h, throughput_mops=4.5)
+            cells = store.get_cells(h, "unstamped", "full")
+            (cell,) = cells.values()
+            assert cell["payload"]["throughput_mops"] == 4.5
+            assert cell["status"] == "ok"
+            assert cell["engine"] == "ART"
+
+    def test_replace_overwrites_same_key(self, tmp_path):
+        with ResultStore(str(tmp_path / "c.db")) as store:
+            h = store.register_campaign(_spec())
+            _put(store, h, throughput_mops=1.0)
+            _put(store, h, throughput_mops=2.0)
+            (cell,) = store.get_cells(h, "unstamped", "full").values()
+            assert cell["payload"]["throughput_mops"] == 2.0
+            assert store.counts(h, "unstamped", "full") == {
+                "ok": 1, "error": 0,
+            }
+
+    def test_completed_keys_exclude_errors(self, tmp_path):
+        # Error cells are retried on resume, so they must not count as
+        # completed.
+        with ResultStore(str(tmp_path / "c.db")) as store:
+            h = store.register_campaign(_spec(seeds=(1, 2)))
+            _put(store, h, key="ART/IPGEO/seed=1/none", status="ok")
+            _put(store, h, key="ART/IPGEO/seed=2/none", status="error")
+            assert store.completed_keys(h, "unstamped", "full") == {
+                "ART/IPGEO/seed=1/none"
+            }
+
+    def test_namespaces_do_not_bleed(self, tmp_path):
+        # Same cell key under a different git SHA or mode is a distinct
+        # row: smoke-mode CI cells never shadow full-mode results.
+        with ResultStore(str(tmp_path / "c.db")) as store:
+            h = store.register_campaign(_spec())
+            store.put_cell(h, "sha-a", "full", "k", "ART", "IPGEO", 1,
+                           "none", "ok", {"v": 1})
+            store.put_cell(h, "sha-a", "smoke", "k", "ART", "IPGEO", 1,
+                           "none", "ok", {"v": 2})
+            store.put_cell(h, "sha-b", "full", "k", "ART", "IPGEO", 1,
+                           "none", "ok", {"v": 3})
+            for sha, mode, expected in [
+                ("sha-a", "full", 1), ("sha-a", "smoke", 2),
+                ("sha-b", "full", 3),
+            ]:
+                (cell,) = store.get_cells(h, sha, mode).values()
+                assert cell["payload"]["v"] == expected
+
+    def test_bad_status_rejected(self, tmp_path):
+        with ResultStore(str(tmp_path / "c.db")) as store:
+            h = store.register_campaign(_spec())
+            with pytest.raises(ConfigError, match="status"):
+                _put(store, h, status="meh")
+
+    def test_corrupt_payload_is_config_error(self, tmp_path):
+        path = str(tmp_path / "c.db")
+        with ResultStore(path) as store:
+            h = store.register_campaign(_spec())
+            _put(store, h)
+        con = sqlite3.connect(path)
+        with con:
+            con.execute("UPDATE cells SET payload='{oops'")
+        con.close()
+        with ResultStore(path) as store:
+            with pytest.raises(ConfigError, match="corrupt JSON"):
+                store.get_cells(h, "unstamped", "full")
+
+
+class TestDump:
+    def test_dump_is_canonical_and_sorted(self, tmp_path):
+        # Insertion order must not leak into the dump: two stores with
+        # the same cells dump to the same bytes.
+        spec = _spec(seeds=(1, 2))
+        a_path, b_path = str(tmp_path / "a.db"), str(tmp_path / "b.db")
+        with ResultStore(a_path) as a, ResultStore(b_path) as b:
+            h = a.register_campaign(spec)
+            b.register_campaign(spec)
+            _put(a, h, key="ART/IPGEO/seed=1/none", v=1)
+            _put(a, h, key="ART/IPGEO/seed=2/none", v=2)
+            _put(b, h, key="ART/IPGEO/seed=2/none", v=2)
+            _put(b, h, key="ART/IPGEO/seed=1/none", v=1)
+            assert a.dump(h, "unstamped", "full") == b.dump(
+                h, "unstamped", "full"
+            )
+            parsed = json.loads(a.dump(h, "unstamped", "full"))
+            assert [c["cell_key"] for c in parsed] == [
+                "ART/IPGEO/seed=1/none", "ART/IPGEO/seed=2/none",
+            ]
+
+
+class TestVersioning:
+    def test_future_store_version_rejected(self, tmp_path):
+        path = str(tmp_path / "c.db")
+        ResultStore(path).close()
+        con = sqlite3.connect(path)
+        con.execute(f"PRAGMA user_version={STORE_VERSION + 1}")
+        con.close()
+        with pytest.raises(ConfigError, match="store version"):
+            ResultStore(path)
+
+    def test_missing_directory_is_config_error(self, tmp_path):
+        with pytest.raises(ConfigError, match="does not exist"):
+            ResultStore(str(tmp_path / "no" / "such" / "c.db"))
+
+    def test_default_store_path(self, tmp_path):
+        assert default_store_path(str(tmp_path)).endswith("campaigns.db")

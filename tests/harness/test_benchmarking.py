@@ -85,6 +85,32 @@ class TestCheckRegression:
         assert ok
         assert any("no quick baseline" in line for line in messages)
 
+    def test_mixed_schema_history_is_skipped_not_crashed(self):
+        # A real trajectory accumulates entries across schema epochs:
+        # pre-sim_ops_per_sec samples, failed samples recorded as None,
+        # and even non-dict junk.  The gate must judge against the valid
+        # entries only and say what it skipped.
+        history = [
+            _entry(DCART=100_000.0),
+            {  # older schema: engine sample lacks sim_ops_per_sec
+                "git_sha": "1" * 40,
+                "mode": "full",
+                "engines": {"DCART": {"ops_per_sec": 999_999.0}},
+            },
+            {  # failed sample: rate recorded as None
+                "git_sha": "2" * 40,
+                "mode": "full",
+                "engines": {"DCART": {"sim_ops_per_sec": None}},
+            },
+            {"mode": "full", "engines": "not-a-dict"},
+            "not-even-a-dict",
+        ]
+        ok, messages = check_regression(_entry(DCART=95_000.0), history)
+        assert ok
+        assert any("skipped 2" in line for line in messages)
+        # The judged baseline is the one valid entry, not the junk.
+        assert any("100,000" in line for line in messages)
+
     def test_new_engine_has_no_baseline(self):
         ok, messages = check_regression(
             _entry(SMART=5.0), [_entry(DCART=100_000.0)]
@@ -111,6 +137,39 @@ class TestTrajectoryFile:
     def test_malformed_file_rejected(self, tmp_path):
         path = tmp_path / "bad.json"
         path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ConfigError):
+            load_trajectory(str(path))
+
+    def test_append_fsyncs_before_rename(self, tmp_path, monkeypatch):
+        # DUR01: the tmp file must hit the platter before os.replace
+        # publishes it, else a crash can tear the trajectory.
+        import os as os_mod
+
+        events = []
+        real_fsync, real_replace = os_mod.fsync, os_mod.replace
+        monkeypatch.setattr(
+            benchmarking.os, "fsync",
+            lambda fd: (events.append("fsync"), real_fsync(fd))[1],
+        )
+        monkeypatch.setattr(
+            benchmarking.os, "replace",
+            lambda a, b: (events.append("replace"), real_replace(a, b))[1],
+        )
+        append_entry(str(tmp_path / "BENCH_speed.json"), _entry(DCART=1.0))
+        assert events == ["fsync", "replace"]
+
+    def test_corrupt_file_is_config_error_not_traceback(self, tmp_path):
+        # A truncated/torn BENCH_speed.json (e.g. a pre-fsync crash on
+        # an older build) must surface as ConfigError with a recovery
+        # hint, not leak json.JSONDecodeError to the caller.
+        path = tmp_path / "BENCH_speed.json"
+        path.write_text('{"schema": 1, "history": [{"git_sha')
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            load_trajectory(str(path))
+
+    def test_non_list_history_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_speed.json"
+        path.write_text(json.dumps({"schema": 1, "history": {"a": 1}}))
         with pytest.raises(ConfigError):
             load_trajectory(str(path))
 

@@ -202,3 +202,38 @@ class TestWorkerCrashRobustness:
         assert row[0] == "DCART"
         assert row[3] == "FAILED"
         assert row[4] == "RuntimeError"
+
+
+class TestOnResultHook:
+    """The incremental-persistence hook the campaign store hangs off."""
+
+    def test_fires_per_cell_in_submission_order(self):
+        seen = []
+        results = run_cells(
+            _cells(), jobs=2, worker=_ok_doc,
+            on_result=lambda cell, doc: seen.append(
+                (cell.seed, doc["cell"]["seed"])
+            ),
+        )
+        assert seen == [(1, 1), (2, 2), (3, 3)]
+        assert len(results) == 3
+
+    def test_fires_for_error_docs_too(self):
+        """A cell that fails (even after the retry) must still reach the
+        hook — the campaign store records failures as resumable cells."""
+        seen = {}
+        run_cells(
+            _cells(), jobs=2, worker=_worker_raises_on_seed_2,
+            on_result=lambda cell, doc: seen.__setitem__(
+                cell.seed, cell_failed(doc)
+            ),
+        )
+        assert seen == {1: False, 2: True, 3: False}
+
+    def test_inline_path_fires_identically(self):
+        serial, parallel = [], []
+        run_cells(_cells(), jobs=1, worker=_ok_doc,
+                  on_result=lambda c, d: serial.append(c.seed))
+        run_cells(_cells(), jobs=2, worker=_ok_doc,
+                  on_result=lambda c, d: parallel.append(c.seed))
+        assert serial == parallel == [1, 2, 3]

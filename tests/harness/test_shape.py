@@ -5,7 +5,7 @@ simulator and the runs are scaled down 5000× — but the *shape* of every
 result must hold: who wins, in roughly what proportion, and in which
 direction each sensitivity moves.  The tighter per-band numbers are
 printed by the benchmarks at their larger default scale and recorded in
-EXPERIMENTS.md.
+docs/PAPER_COMPARISON.md.
 """
 
 import pytest

@@ -471,3 +471,104 @@ class TestBenchCommand:
         captured = capsys.readouterr()
         assert "REGRESSION" in captured.out
         assert "regression detected" in captured.err
+
+class TestCampaignCommand:
+    def _write_spec(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "name": "cli-smoke", "engines": ["ART", "DCART"],
+            "workloads": ["IPGEO"], "seeds": [1],
+            "n_keys": 400, "n_ops": 1000,
+        }))
+        return str(path)
+
+    def test_run_resume_and_report(self, capsys, tmp_path):
+        spec = self._write_spec(tmp_path)
+        store = str(tmp_path / "c.db")
+        base = ["campaign", "run", "--spec", spec, "--store", store,
+                "--mode", "smoke", "--no-stamp"]
+        assert main(base) == 0
+        assert "2 ran" in capsys.readouterr().out
+        # Second invocation: every cell reused, zero re-simulation.
+        assert main(base) == 0
+        out = capsys.readouterr().out
+        assert "2 reused" in out and "0 ran" in out
+
+        assert main(["campaign", "status", "--spec", spec, "--store",
+                     store, "--mode", "smoke", "--no-stamp"]) == 0
+        assert "2/2 ok" in capsys.readouterr().out
+
+        md_path = str(tmp_path / "report.md")
+        html_path = str(tmp_path / "report.html")
+        assert main(["campaign", "report", "--spec", spec, "--store",
+                     store, "--mode", "smoke", "--no-stamp",
+                     "--md", md_path, "--html", html_path]) == 0
+        with open(md_path) as fh:
+            md = fh.read()
+        assert md.startswith("<!-- GENERATED FILE")
+        assert "| DCART " in md
+        with open(html_path) as fh:
+            assert "<table>" in fh.read()
+
+    def test_report_is_byte_deterministic_under_no_stamp(
+        self, capsys, tmp_path
+    ):
+        spec = self._write_spec(tmp_path)
+        store = str(tmp_path / "c.db")
+        assert main(["campaign", "run", "--spec", spec, "--store", store,
+                     "--no-stamp"]) == 0
+        capsys.readouterr()
+        texts = []
+        for path in ("a.md", "b.md"):
+            out = str(tmp_path / path)
+            assert main(["campaign", "report", "--spec", spec, "--store",
+                         store, "--no-stamp", "--md", out]) == 0
+            with open(out) as fh:
+                texts.append(fh.read())
+        assert texts[0] == texts[1]
+
+    def test_missing_spec_exits_2_one_line(self, capsys, tmp_path):
+        assert main(["campaign", "run", "--spec",
+                     str(tmp_path / "absent.json")]) == 2
+        err = capsys.readouterr().err
+        assert "not found" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_invalid_spec_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "name": "x", "engines": ["BTREE"], "workloads": ["IPGEO"],
+            "seeds": [1],
+        }))
+        assert main(["campaign", "run", "--spec", str(path)]) == 2
+        assert "unknown engine" in capsys.readouterr().err
+
+    def test_incomplete_campaign_status_exits_1(self, capsys, tmp_path):
+        spec = self._write_spec(tmp_path)
+        assert main(["campaign", "status", "--spec", spec, "--store",
+                     str(tmp_path / "c.db"), "--no-stamp"]) == 1
+        assert "2 pending" in capsys.readouterr().out
+
+
+class TestBenchCorruptTrajectory:
+    def test_check_on_corrupt_trajectory_exits_2_one_line(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        # A torn trajectory file is a configuration problem: one line on
+        # stderr and exit code 2, never a JSONDecodeError traceback.
+        from repro.harness import benchmarking
+
+        monkeypatch.setattr(
+            benchmarking, "QUICK_SPEC",
+            {"name": "IPGEO", "n_keys": 400, "n_ops": 1000,
+             "seed": 5, "op_skew": 0.99},
+        )
+        path = tmp_path / "BENCH_speed.json"
+        path.write_text('{"schema": 1, "history": [{"git_sha": "tor')
+        assert main([
+            "bench", "--quick", "--engines", "DCART",
+            "--check", "--file", str(path),
+        ]) == 2
+        captured = capsys.readouterr()
+        assert "not valid JSON" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
